@@ -1,0 +1,28 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"natix/internal/bench"
+)
+
+func TestPrintSeries(t *testing.T) {
+	// Exercises the table renderer, including skipped engines.
+	ms := []bench.Measurement{
+		{Exp: "fig6", Query: "q1", Engine: "natix", Scale: 2000, Duration: 5 * time.Millisecond, Result: 10},
+		{Exp: "fig6", Query: "q1", Engine: "naive", Scale: 2000, Duration: 3 * time.Second, Result: 10},
+		{Exp: "fig6", Query: "q1", Engine: "natix", Scale: 4000, Duration: 9 * time.Millisecond, Result: 22},
+		{Exp: "fig6", Query: "q1", Engine: "naive", Scale: 4000, Skipped: true},
+	}
+	printSeries(ms) // must not panic; output format checked by eye in -exp runs
+}
+
+func TestFig5Listing(t *testing.T) {
+	fig5()
+}
+
+func TestSmallFigureRun(t *testing.T) {
+	cfg := bench.Config{Sizes: []int{200}, Engines: []string{bench.EngineNatixMem}, Repeats: 1}
+	figure("fig9", cfg)
+}

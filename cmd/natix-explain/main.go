@@ -1,0 +1,131 @@
+// Command natix-explain shows what the compiler does with an XPath
+// expression: the parsed form, the normalized intermediate representation,
+// and the translated algebra plan under the selected (or every)
+// translation configuration.
+//
+// Usage:
+//
+//	natix-explain '//a[position() = last()]/@id'
+//	natix-explain -all '/a/b[count(c) = 2]'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"natix"
+	"natix/internal/xpath"
+)
+
+func main() {
+	all := flag.Bool("all", false, "show every translation configuration")
+	phys := flag.Bool("physical", false, "also show the physical plan with NVM disassembly")
+	dot := flag.Bool("dot", false, "emit the plan as a Graphviz digraph instead of text")
+	mode := flag.String("mode", "improved", "translation mode: improved or canonical")
+	ns := flag.String("ns", "", "namespace bindings: prefix=uri,prefix=uri")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: natix-explain [flags] <query>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *mode, *all, *phys, *dot, *ns); err != nil {
+		fmt.Fprintln(os.Stderr, "natix-explain:", err)
+		os.Exit(1)
+	}
+}
+
+func parseNS(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]string{}
+	for _, part := range strings.Split(s, ",") {
+		prefix, uri, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad namespace binding %q", part)
+		}
+		out[prefix] = uri
+	}
+	return out, nil
+}
+
+func run(query, mode string, all, phys, dot bool, nsSpec string) error {
+	namespaces, err := parseNS(nsSpec)
+	if err != nil {
+		return err
+	}
+
+	ast, err := xpath.Parse(query)
+	if err != nil {
+		return err
+	}
+	if dot {
+		q, err := natix.CompileWith(query, natix.Options{Namespaces: namespaces})
+		if err != nil {
+			return err
+		}
+		if q.DOT() == "" {
+			return fmt.Errorf("scalar query has no top-level plan to draw")
+		}
+		fmt.Print(q.DOT())
+		return nil
+	}
+	fmt.Println("== parsed (unabbreviated) ==")
+	fmt.Println(ast)
+
+	configs := []struct {
+		name string
+		opt  natix.Options
+	}{}
+	switch {
+	case all:
+		configs = append(configs,
+			struct {
+				name string
+				opt  natix.Options
+			}{"canonical (section 3)", natix.Options{Mode: natix.Canonical, Namespaces: namespaces}},
+			struct {
+				name string
+				opt  natix.Options
+			}{"improved (section 4)", natix.Options{Namespaces: namespaces}},
+		)
+	case mode == "canonical":
+		configs = append(configs, struct {
+			name string
+			opt  natix.Options
+		}{"canonical (section 3)", natix.Options{Mode: natix.Canonical, Namespaces: namespaces}})
+	case mode == "improved":
+		configs = append(configs, struct {
+			name string
+			opt  natix.Options
+		}{"improved (section 4)", natix.Options{Namespaces: namespaces}})
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	first := true
+	for _, cfg := range configs {
+		q, err := natix.CompileWith(query, cfg.opt)
+		if err != nil {
+			return err
+		}
+		if first {
+			fmt.Println("\n== normalized IR ==")
+			fmt.Println(q.ExplainIR())
+			first = false
+		}
+		fmt.Printf("\n== algebra: %s ==\n", cfg.name)
+		fmt.Print(q.ExplainAlgebra())
+		if phys {
+			fmt.Printf("\n== physical plan: %s ==\n", cfg.name)
+			fmt.Print(q.ExplainPhysical())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import "testing"
+
+func TestExplainRuns(t *testing.T) {
+	for _, q := range []string{
+		"//a[position() = last()]/@id",
+		"count(//a) + 1",
+		"/a/b[c = 'x']",
+	} {
+		if err := run(q, "improved", false, false, false, ""); err != nil {
+			t.Errorf("%q: %v", q, err)
+		}
+	}
+	if err := run("//a", "canonical", false, true, false, ""); err != nil {
+		t.Errorf("canonical+physical: %v", err)
+	}
+	if err := run("//a", "x", true, true, false, ""); err != nil {
+		t.Errorf("-all ignores mode: %v", err)
+	}
+	if err := run("//a[b]", "improved", false, false, true, ""); err != nil {
+		t.Errorf("-dot: %v", err)
+	}
+	if err := run("count(//a)", "improved", false, false, true, ""); err == nil {
+		t.Error("-dot on a scalar query accepted")
+	}
+}
+
+func TestExplainNamespaces(t *testing.T) {
+	if err := run("//p:a", "improved", false, false, false, "p=urn:p"); err != nil {
+		t.Errorf("namespaced: %v", err)
+	}
+	if err := run("//p:a", "improved", false, false, false, ""); err == nil {
+		t.Error("unbound prefix accepted")
+	}
+	if err := run("//a", "improved", false, false, false, "junk"); err == nil {
+		t.Error("bad ns spec accepted")
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	if err := run("][", "improved", false, false, false, ""); err == nil {
+		t.Error("bad query accepted")
+	}
+	if err := run("//a", "bogus", false, false, false, ""); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestParseNS(t *testing.T) {
+	m, err := parseNS("a=1,b=2")
+	if err != nil || m["a"] != "1" || m["b"] != "2" {
+		t.Errorf("parseNS: %v %v", m, err)
+	}
+	if m, err := parseNS(""); err != nil || m != nil {
+		t.Errorf("empty: %v %v", m, err)
+	}
+}

@@ -1,0 +1,70 @@
+// Command natix-gen produces the benchmark documents of the paper's
+// evaluation: the breadth-first generated documents of section 6.2.1 and
+// the synthetic DBLP document standing in for the DBLP dump of section
+// 6.2.2, as XML text or directly in the paged store format.
+//
+// Usage:
+//
+//	natix-gen -kind xdoc -elements 8000 -fanout 6 -o doc.xml
+//	natix-gen -kind dblp -pubs 200000 -store -o dblp.natix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"natix/internal/dom"
+	"natix/internal/gen"
+	"natix/internal/store"
+)
+
+func main() {
+	kind := flag.String("kind", "xdoc", "document kind: xdoc (section 6.2.1) or dblp (section 6.2.2)")
+	elements := flag.Int("elements", 2000, "xdoc: element count")
+	fanout := flag.Int("fanout", 6, "xdoc: children per element")
+	depth := flag.Int("depth", 0, "xdoc: maximum depth below root (0 = unbounded)")
+	pubs := flag.Int("pubs", 10000, "dblp: publication count")
+	seed := flag.Int64("seed", 2005, "dblp: generator seed")
+	out := flag.String("o", "", "output file (default stdout, XML only)")
+	asStore := flag.Bool("store", false, "write the paged store format instead of XML (requires -o)")
+	flag.Parse()
+
+	if err := run(*kind, *elements, *fanout, *depth, *pubs, *seed, *out, *asStore); err != nil {
+		fmt.Fprintln(os.Stderr, "natix-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, elements, fanout, depth, pubs int, seed int64, out string, asStore bool) error {
+	var doc *dom.MemDoc
+	switch kind {
+	case "xdoc":
+		doc = gen.Generate(gen.Params{Elements: elements, Fanout: fanout, MaxDepth: depth})
+	case "dblp":
+		doc = gen.DBLP(gen.DBLPParams{Publications: pubs, Seed: seed})
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	fmt.Fprintf(os.Stderr, "generated %d nodes (%d elements, depth %d)\n",
+		doc.NodeCount(), gen.CountElements(doc), gen.Depth(doc))
+
+	if asStore {
+		if out == "" {
+			return fmt.Errorf("-store requires -o")
+		}
+		return store.Write(out, doc)
+	}
+	if out == "" {
+		return dom.Serialize(os.Stdout, doc)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := dom.Serialize(f, doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"natix/internal/dom"
+	"natix/internal/gen"
+	"natix/internal/store"
+)
+
+func TestGenXDocXML(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.xml")
+	if err := run("xdoc", 50, 4, 0, 0, 0, out, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := dom.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gen.CountElements(d); got != 50 {
+		t.Errorf("elements = %d", got)
+	}
+}
+
+func TestGenDBLPStore(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "d.natix")
+	if err := run("dblp", 0, 0, 0, 100, 7, out, true); err != nil {
+		t.Fatal(err)
+	}
+	sd, err := store.Open(out, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	root := sd.FirstChild(sd.Root())
+	if sd.LocalName(root) != "dblp" {
+		t.Errorf("root = %q", sd.LocalName(root))
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	if err := run("nope", 1, 1, 0, 0, 0, "", false); err == nil {
+		t.Error("bad kind accepted")
+	}
+	if err := run("xdoc", 1, 1, 0, 0, 0, "", true); err == nil {
+		t.Error("-store without -o accepted")
+	}
+	if err := run("xdoc", 1, 1, 0, 0, 0, "/nonexistent-dir/x.xml", false); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

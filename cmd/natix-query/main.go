@@ -1,0 +1,140 @@
+// Command natix-query evaluates an XPath 1.0 expression against an XML
+// document (or a paged store file) and prints the result.
+//
+// Usage:
+//
+//	natix-query [flags] <query> <document>
+//
+//	natix-query '//book[position() = last()]/title' catalog.xml
+//	natix-query -store -stats '/dblp/article/title' dblp.natix
+//	natix-query -ns p=urn:example '//p:item' doc.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"natix"
+	"natix/internal/dom"
+	"natix/internal/store"
+)
+
+type nsFlags map[string]string
+
+func (n nsFlags) String() string { return fmt.Sprint(map[string]string(n)) }
+
+func (n nsFlags) Set(v string) error {
+	prefix, uri, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want prefix=uri, got %q", v)
+	}
+	n[prefix] = uri
+	return nil
+}
+
+func main() {
+	ns := nsFlags{}
+	mode := flag.String("mode", "improved", "translation mode: improved or canonical")
+	useStore := flag.Bool("store", false, "treat the document as a natix store file")
+	explain := flag.Bool("explain", false, "print the algebra plan before evaluating")
+	stats := flag.Bool("stats", false, "print engine statistics after evaluating")
+	bufPages := flag.Int("buffer", 0, "store buffer capacity in pages (0 = default)")
+	flag.Var(ns, "ns", "namespace binding prefix=uri (repeatable)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: natix-query [flags] <query> <document>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *mode, *useStore, *explain, *stats, *bufPages, ns); err != nil {
+		fmt.Fprintln(os.Stderr, "natix-query:", err)
+		os.Exit(1)
+	}
+}
+
+func run(query, path, mode string, useStore, explain, stats bool, bufPages int, ns map[string]string) error {
+	opt := natix.Options{Namespaces: ns}
+	switch mode {
+	case "improved":
+	case "canonical":
+		opt.Mode = natix.Canonical
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	q, err := natix.CompileWith(query, opt)
+	if err != nil {
+		return err
+	}
+	if explain {
+		fmt.Print(q.ExplainAlgebra())
+	}
+
+	var doc dom.Document
+	if useStore {
+		sd, err := store.Open(path, store.Options{BufferPages: bufPages})
+		if err != nil {
+			return err
+		}
+		defer sd.Close()
+		doc = sd
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		md, err := dom.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		doc = md
+	}
+
+	res, err := q.Run(natix.RootNode(doc), nil)
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	if stats {
+		fmt.Fprintf(os.Stderr, "stats: axis-steps=%d tuples=%d dup-dropped=%d memo=%d/%d sorted=%d\n",
+			res.Stats.AxisSteps, res.Stats.Tuples, res.Stats.DupDropped,
+			res.Stats.MemoHits, res.Stats.MemoHits+res.Stats.MemoMisses, res.Stats.Sorted)
+		if sd, ok := doc.(*store.Doc); ok {
+			bs := sd.BufferStats()
+			fmt.Fprintf(os.Stderr, "buffer: hits=%d misses=%d evictions=%d\n", bs.Hits, bs.Misses, bs.Evictions)
+		}
+	}
+	return nil
+}
+
+func printResult(res *natix.Result) {
+	if !res.Value.IsNodeSet() {
+		fmt.Println(res.Value.String())
+		return
+	}
+	for _, n := range res.SortedNodes() {
+		switch n.Kind() {
+		case dom.KindAttribute:
+			fmt.Printf("@%s=%q\n", n.Name(), n.Value())
+		case dom.KindText:
+			fmt.Printf("%q\n", n.Value())
+		case dom.KindElement:
+			fmt.Printf("<%s> %q\n", n.Name(), clip(n.StringValue(), 60))
+		default:
+			fmt.Println(n.String())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d node(s)\n", len(res.Value.Nodes))
+}
+
+func clip(s string, n int) string {
+	if len(s) > n {
+		return s[:n] + "..."
+	}
+	return s
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"natix/internal/dom"
+	"natix/internal/store"
+)
+
+func writeXML(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "doc.xml")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunXMLFile(t *testing.T) {
+	path := writeXML(t, `<a><b id="1"/><b id="2"/></a>`)
+	for _, mode := range []string{"improved", "canonical"} {
+		if err := run("//b/@id", path, mode, false, true, true, 0, nil); err != nil {
+			t.Errorf("mode %s: %v", mode, err)
+		}
+	}
+	if err := run("count(//b)", path, "improved", false, false, false, 0, nil); err != nil {
+		t.Errorf("scalar: %v", err)
+	}
+}
+
+func TestRunStoreFile(t *testing.T) {
+	mem, err := dom.ParseString(`<a><b>x</b></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "doc.natix")
+	if err := store.Write(path, mem); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("/a/b", path, "improved", true, false, true, 8, nil); err != nil {
+		t.Errorf("store query: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeXML(t, `<a/>`)
+	if err := run("//b", path, "bogus-mode", false, false, false, 0, nil); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if err := run("][", path, "improved", false, false, false, 0, nil); err == nil {
+		t.Error("bad query accepted")
+	}
+	if err := run("//b", filepath.Join(t.TempDir(), "missing.xml"), "improved", false, false, false, 0, nil); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeXML(t, `<a>`)
+	if err := run("//b", bad, "improved", false, false, false, 0, nil); err == nil {
+		t.Error("malformed XML accepted")
+	}
+}
+
+func TestNamespaceFlag(t *testing.T) {
+	ns := nsFlags{}
+	if err := ns.Set("p=urn:p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Set("q=urn:q"); err != nil {
+		t.Fatal(err)
+	}
+	if ns["p"] != "urn:p" || ns["q"] != "urn:q" {
+		t.Errorf("ns = %v", ns)
+	}
+	if err := ns.Set("no-equals"); err == nil {
+		t.Error("bad binding accepted")
+	}
+	if !strings.Contains(ns.String(), "urn:p") {
+		t.Errorf("String() = %q", ns.String())
+	}
+	path := writeXML(t, `<a xmlns:x="urn:p"><x:b/></a>`)
+	if err := run("count(//p:b)", path, "improved", false, false, false, 0, ns); err != nil {
+		t.Errorf("namespaced query: %v", err)
+	}
+}
+
+func TestClip(t *testing.T) {
+	if clip("hello", 10) != "hello" {
+		t.Error("short strings unchanged")
+	}
+	if got := clip("0123456789abc", 5); got != "01234..." {
+		t.Errorf("clip = %q", got)
+	}
+}

@@ -1,0 +1,272 @@
+// Command natix-shell is an interactive XPath console over a document:
+// type expressions to evaluate them; backslash commands switch modes,
+// inspect plans, bind variables, and move the context node.
+//
+//	natix-shell catalog.xml
+//	natix-shell -store dblp.natix
+//
+//	> //book[price > 30]/title
+//	> \explain //book[last()]
+//	> \set $limit 30
+//	> //book[price > $limit]
+//	> \context /catalog/book[2]
+//	> title
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"natix"
+	"natix/internal/dom"
+	"natix/internal/store"
+	"natix/internal/xval"
+)
+
+func main() {
+	useStore := flag.Bool("store", false, "treat the document as a natix store file")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: natix-shell [flags] <document>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	doc, closer, err := loadDoc(flag.Arg(0), *useStore)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "natix-shell:", err)
+		os.Exit(1)
+	}
+	if closer != nil {
+		defer closer()
+	}
+	sh := newShell(doc, os.Stdout)
+	fmt.Printf("natix shell — %d nodes loaded; \\help for commands\n", doc.NodeCount())
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			break
+		}
+		if sh.exec(sc.Text()) {
+			break
+		}
+	}
+}
+
+func loadDoc(path string, useStore bool) (dom.Document, func() error, error) {
+	if useStore {
+		sd, err := store.Open(path, store.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		return sd, sd.Close, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	d, err := dom.Parse(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, nil, nil
+}
+
+// shell holds the interactive state.
+type shell struct {
+	doc   dom.Document
+	out   io.Writer
+	ctx   natix.Node
+	mode  natix.TranslationMode
+	vars  map[string]xval.Value
+	stats bool
+	ns    map[string]string
+}
+
+func newShell(doc dom.Document, out io.Writer) *shell {
+	return &shell{
+		doc:  doc,
+		out:  out,
+		ctx:  natix.RootNode(doc),
+		vars: map[string]xval.Value{},
+		ns:   map[string]string{},
+	}
+}
+
+// exec processes one input line; it returns true to quit.
+func (s *shell) exec(line string) bool {
+	line = strings.TrimSpace(line)
+	switch {
+	case line == "":
+		return false
+	case line == "\\quit" || line == "\\q":
+		return true
+	case line == "\\help":
+		s.help()
+		return false
+	case strings.HasPrefix(line, "\\"):
+		s.command(line)
+		return false
+	}
+	s.eval(line)
+	return false
+}
+
+func (s *shell) help() {
+	fmt.Fprint(s.out, `commands:
+  <xpath>                 evaluate against the current context node
+  \explain <xpath>        show the algebra plan
+  \physical <xpath>       show the physical plan with NVM disassembly
+  \mode canonical|improved  switch the translation (current shown by \mode)
+  \set $name <value>      bind a variable (number if numeric, else string)
+  \ns prefix=uri          declare a namespace prefix
+  \context <xpath>        move the context node to the first result
+  \root                   reset the context node to the document node
+  \stats on|off           toggle engine statistics
+  \quit
+`)
+}
+
+func (s *shell) options() natix.Options {
+	return natix.Options{Mode: s.mode, Namespaces: s.ns}
+}
+
+func (s *shell) command(line string) {
+	cmd, arg, _ := strings.Cut(line[1:], " ")
+	arg = strings.TrimSpace(arg)
+	switch cmd {
+	case "explain", "physical":
+		q, err := natix.CompileWith(arg, s.options())
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return
+		}
+		if cmd == "explain" {
+			fmt.Fprint(s.out, q.ExplainAlgebra())
+		} else {
+			fmt.Fprint(s.out, q.ExplainPhysical())
+		}
+	case "mode":
+		switch arg {
+		case "canonical":
+			s.mode = natix.Canonical
+		case "improved":
+			s.mode = natix.Improved
+		case "":
+		default:
+			fmt.Fprintln(s.out, "error: unknown mode", arg)
+			return
+		}
+		names := map[natix.TranslationMode]string{natix.Improved: "improved", natix.Canonical: "canonical"}
+		fmt.Fprintln(s.out, "mode:", names[s.mode])
+	case "set":
+		name, val, ok := strings.Cut(arg, " ")
+		name = strings.TrimPrefix(name, "$")
+		if !ok || name == "" {
+			fmt.Fprintln(s.out, "usage: \\set $name value")
+			return
+		}
+		val = strings.TrimSpace(val)
+		if n := xval.ParseNumber(val); !isNaN(n) {
+			s.vars[name] = xval.Num(n)
+		} else {
+			s.vars[name] = xval.Str(val)
+		}
+		fmt.Fprintf(s.out, "$%s = %s\n", name, s.vars[name].String())
+	case "ns":
+		prefix, uri, ok := strings.Cut(arg, "=")
+		if !ok {
+			fmt.Fprintln(s.out, "usage: \\ns prefix=uri")
+			return
+		}
+		s.ns[prefix] = uri
+		fmt.Fprintf(s.out, "xmlns:%s = %s\n", prefix, uri)
+	case "context":
+		q, err := natix.CompileWith(arg, s.options())
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return
+		}
+		res, err := q.Run(s.ctx, s.vars)
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return
+		}
+		nodes := res.SortedNodes()
+		if len(nodes) == 0 {
+			fmt.Fprintln(s.out, "error: empty result, context unchanged")
+			return
+		}
+		s.ctx = nodes[0]
+		fmt.Fprintf(s.out, "context: %s\n", s.ctx)
+	case "root":
+		s.ctx = natix.RootNode(s.doc)
+		fmt.Fprintln(s.out, "context: document node")
+	case "stats":
+		s.stats = arg != "off"
+		fmt.Fprintln(s.out, "stats:", s.stats)
+	default:
+		fmt.Fprintf(s.out, "error: unknown command \\%s (try \\help)\n", cmd)
+	}
+}
+
+func (s *shell) eval(expr string) {
+	q, err := natix.CompileWith(expr, s.options())
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	res, err := q.Run(s.ctx, s.vars)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	if !res.Value.IsNodeSet() {
+		fmt.Fprintln(s.out, res.Value.String())
+	} else {
+		nodes := res.SortedNodes()
+		for i, n := range nodes {
+			if i == 20 {
+				fmt.Fprintf(s.out, "... %d more\n", len(nodes)-i)
+				break
+			}
+			fmt.Fprintln(s.out, describe(n))
+		}
+		fmt.Fprintf(s.out, "%d node(s)\n", len(nodes))
+	}
+	if s.stats {
+		st := res.Stats
+		fmt.Fprintf(s.out, "stats: axis-steps=%d tuples=%d dup-dropped=%d memo=%d/%d sorted=%d\n",
+			st.AxisSteps, st.Tuples, st.DupDropped, st.MemoHits, st.MemoHits+st.MemoMisses, st.Sorted)
+	}
+}
+
+func describe(n natix.Node) string {
+	switch n.Kind() {
+	case dom.KindAttribute:
+		return fmt.Sprintf("@%s=%q", n.Name(), n.Value())
+	case dom.KindText:
+		return fmt.Sprintf("text %q", clip(n.Value()))
+	case dom.KindElement:
+		return fmt.Sprintf("<%s> %q", n.Name(), clip(n.StringValue()))
+	default:
+		return n.String()
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 60 {
+		return s[:60] + "..."
+	}
+	return s
+}
+
+func isNaN(f float64) bool { return f != f }

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"natix/internal/dom"
+	"natix/internal/store"
+)
+
+func testShell(t *testing.T) (*shell, *strings.Builder) {
+	t.Helper()
+	d, err := dom.ParseString(`<cat><item p="1">alpha</item><item p="2">beta</item></cat>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	return newShell(d, &out), &out
+}
+
+func TestShellEval(t *testing.T) {
+	sh, out := testShell(t)
+	sh.exec("//item")
+	if !strings.Contains(out.String(), "2 node(s)") {
+		t.Errorf("eval output: %s", out.String())
+	}
+	out.Reset()
+	sh.exec("count(//item) * 10")
+	if !strings.Contains(out.String(), "20") {
+		t.Errorf("scalar output: %s", out.String())
+	}
+	out.Reset()
+	sh.exec("][")
+	if !strings.Contains(out.String(), "error:") {
+		t.Errorf("bad query output: %s", out.String())
+	}
+}
+
+func TestShellCommands(t *testing.T) {
+	sh, out := testShell(t)
+	if sh.exec("\\quit") != true {
+		t.Error("\\quit should exit")
+	}
+	if sh.exec("") != false {
+		t.Error("blank line should continue")
+	}
+	sh.exec("\\help")
+	if !strings.Contains(out.String(), "commands:") {
+		t.Error("help missing")
+	}
+
+	out.Reset()
+	sh.exec("\\mode canonical")
+	if !strings.Contains(out.String(), "canonical") {
+		t.Errorf("mode switch: %s", out.String())
+	}
+	sh.exec("\\mode bogus")
+	if !strings.Contains(out.String(), "unknown mode") {
+		t.Errorf("bad mode: %s", out.String())
+	}
+
+	out.Reset()
+	sh.exec("\\explain //item[last()]")
+	if !strings.Contains(out.String(), "Tmp^cs") {
+		t.Errorf("explain: %s", out.String())
+	}
+	out.Reset()
+	sh.exec("\\physical //item[1]")
+	if !strings.Contains(out.String(), "registers:") {
+		t.Errorf("physical: %s", out.String())
+	}
+
+	out.Reset()
+	sh.exec("\\set $p 2")
+	sh.exec("//item[@p = $p]")
+	if !strings.Contains(out.String(), "1 node(s)") {
+		t.Errorf("variable eval: %s", out.String())
+	}
+	out.Reset()
+	sh.exec("\\set $s hello")
+	if !strings.Contains(out.String(), "hello") {
+		t.Errorf("string var: %s", out.String())
+	}
+
+	out.Reset()
+	sh.exec("\\context //item[2]")
+	sh.exec("text()")
+	if !strings.Contains(out.String(), "beta") {
+		t.Errorf("context move: %s", out.String())
+	}
+	out.Reset()
+	sh.exec("\\root")
+	sh.exec("\\context //nothing")
+	if !strings.Contains(out.String(), "empty result") {
+		t.Errorf("bad context: %s", out.String())
+	}
+
+	out.Reset()
+	sh.exec("\\stats on")
+	sh.exec("//item")
+	if !strings.Contains(out.String(), "axis-steps=") {
+		t.Errorf("stats: %s", out.String())
+	}
+
+	out.Reset()
+	sh.exec("\\nonsense")
+	if !strings.Contains(out.String(), "unknown command") {
+		t.Errorf("unknown command: %s", out.String())
+	}
+}
+
+func TestShellNamespaces(t *testing.T) {
+	d, err := dom.ParseString(`<a xmlns:x="urn:p"><x:b/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	sh := newShell(d, &out)
+	sh.exec("\\ns p=urn:p")
+	sh.exec("count(//p:b)")
+	if !strings.Contains(out.String(), "1") {
+		t.Errorf("namespaced query: %s", out.String())
+	}
+	out.Reset()
+	sh.exec("\\ns broken")
+	if !strings.Contains(out.String(), "usage") {
+		t.Errorf("bad ns: %s", out.String())
+	}
+}
+
+func TestLoadDoc(t *testing.T) {
+	dir := t.TempDir()
+	xml := filepath.Join(dir, "d.xml")
+	if err := os.WriteFile(xml, []byte("<a><b/></a>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, closer, err := loadDoc(xml, false)
+	if err != nil || closer != nil {
+		t.Fatalf("xml load: %v", err)
+	}
+	if d.NodeCount() != 4 { // doc, a, implicit xml ns record, b
+		t.Errorf("nodes = %d", d.NodeCount())
+	}
+
+	mem, _ := dom.ParseString("<a><b/></a>")
+	st := filepath.Join(dir, "d.natix")
+	if err := store.Write(st, mem); err != nil {
+		t.Fatal(err)
+	}
+	d2, closer2, err := loadDoc(st, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer2()
+	if d2.NodeCount() != 4 {
+		t.Errorf("store nodes = %d", d2.NodeCount())
+	}
+
+	if _, _, err := loadDoc(filepath.Join(dir, "missing"), false); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,53 @@
+// Deep differential fuzz: five seeds, four hundred random queries each,
+// every engine configuration against the reference interpreter.
+package natix
+
+import (
+	"math/rand"
+	"testing"
+
+	"natix/internal/conformance"
+	"natix/internal/dom"
+	"natix/internal/interp"
+)
+
+func TestDeepFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep fuzz is several seconds")
+	}
+	for _, seed := range []int64{1, 7, 99, 12345, 777777} {
+		rng := rand.New(rand.NewSource(seed))
+		docs := make([]*dom.MemDoc, 4)
+		for i := range docs {
+			docs[i] = randomDoc(rng, 30+i*50)
+		}
+		for i := 0; i < 400; i++ {
+			expr := randomQuery(rng)
+			d := docs[rng.Intn(len(docs))]
+			root := RootNode(d)
+			ref, err := interp.Compile(expr, nil, interp.Options{DedupSteps: true})
+			if err != nil {
+				t.Fatalf("seed %d interp compile %q: %v", seed, expr, err)
+			}
+			want, err := ref.Eval(root, nil)
+			if err != nil {
+				t.Fatalf("seed %d interp eval %q: %v", seed, expr, err)
+			}
+			wantR := conformance.Render(want)
+			for _, cfg := range engineConfigs {
+				q, err := CompileWith(expr, cfg.opt)
+				if err != nil {
+					t.Fatalf("%s compile %q: %v", cfg.name, expr, err)
+				}
+				res, err := q.Run(root, nil)
+				if err != nil {
+					t.Fatalf("%s run %q: %v", cfg.name, expr, err)
+				}
+				if got := conformance.Render(res.Value); got != wantR {
+					t.Fatalf("seed %d %s: %q diverges\n got %s\nwant %s\ndoc: %s",
+						seed, cfg.name, expr, got, wantR, dom.SerializeString(d))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package natix
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"natix/internal/conformance"
+	"natix/internal/dom"
+	"natix/internal/store"
+	"natix/internal/xval"
+)
+
+// confEngine adapts the algebraic engine to the conformance suite.
+type confEngine struct {
+	name string
+	opt  Options
+}
+
+func (e confEngine) Name() string { return e.name }
+
+func (e confEngine) Eval(d dom.Document, expr string, vars map[string]xval.Value, ns map[string]string) (xval.Value, error) {
+	opt := e.opt
+	opt.Namespaces = ns
+	q, err := CompileWith(expr, opt)
+	if err != nil {
+		return xval.Value{}, err
+	}
+	res, err := q.Run(RootNode(d), vars)
+	if err != nil {
+		return xval.Value{}, err
+	}
+	return res.Value, nil
+}
+
+// engineConfigs are the translation configurations every conformance case
+// must pass under.
+var engineConfigs = []confEngine{
+	{name: "improved", opt: Options{Mode: Improved}},
+	{name: "canonical", opt: Options{Mode: Canonical}},
+	{name: "improved-nomemo", opt: Options{Mode: Improved, DisableMemoX: true, DisablePredReorder: true}},
+	{name: "improved-nostack", opt: Options{Mode: Improved, DisableStacked: true, DisableDupElimPush: true}},
+	{name: "improved-seqprops", opt: Options{Mode: Improved, EnableSequenceAnalysis: true}},
+	{name: "improved-index", opt: Options{Mode: Improved, EnableNameIndex: true}},
+}
+
+func TestConformance(t *testing.T) {
+	for _, cfg := range engineConfigs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			conformance.Run(t, cfg)
+		})
+	}
+}
+
+func TestExplain(t *testing.T) {
+	q := MustCompile("/child::a/descendant::b[position() = last()]/@id")
+	alg := q.ExplainAlgebra()
+	for _, want := range []string{"Υ", "Tmp^cs", "Π^D", "σ"} {
+		if !contains(alg, want) {
+			t.Errorf("ExplainAlgebra missing %q:\n%s", want, alg)
+		}
+	}
+	if q.ExplainIR() == "" {
+		t.Error("empty IR explanation")
+	}
+	// Scalar query explanation.
+	q2 := MustCompile("count(//a)")
+	if q2.Algebra() != nil {
+		t.Error("scalar query should have no top-level plan")
+	}
+	if !contains(q2.ExplainAlgebra(), "count") {
+		t.Errorf("scalar explain: %s", q2.ExplainAlgebra())
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestResultHelpers(t *testing.T) {
+	d, err := ParseDocumentString(`<r><b/><a/></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustCompile("/r/a | /r/b")
+	res, err := q.Run(RootNode(d), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := res.SortedNodes()
+	if len(nodes) != 2 || nodes[0].LocalName() != "b" || nodes[1].LocalName() != "a" {
+		t.Errorf("SortedNodes: %v", nodes)
+	}
+	scalar, err := MustCompile("1 + 1").Run(RootNode(d), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SortedNodes on scalar should panic")
+		}
+	}()
+	scalar.SortedNodes()
+}
+
+func TestCompileErrors(t *testing.T) {
+	for _, expr := range []string{"", "1 +", "foo(", "count()", "p:x"} {
+		if _, err := Compile(expr); err == nil {
+			t.Errorf("Compile(%q): expected error", expr)
+		}
+	}
+}
+
+func ExampleCompile() {
+	doc, _ := ParseDocumentString(`<lib><book>A</book><book>B</book></lib>`)
+	q := MustCompile("/lib/book[last()]")
+	res, _ := q.Run(RootNode(doc), nil)
+	for _, n := range res.SortedNodes() {
+		fmt.Println(n.StringValue())
+	}
+	// Output: B
+}
+
+// storeEngine runs the improved engine over a page-backed store image of
+// each conformance document, proving the suite holds when navigation goes
+// through the buffer manager.
+type storeEngine struct {
+	mu    sync.Mutex
+	cache map[uint64]*store.Doc
+}
+
+func (e *storeEngine) Name() string { return "improved-store" }
+
+func (e *storeEngine) Eval(d dom.Document, expr string, vars map[string]xval.Value, ns map[string]string) (xval.Value, error) {
+	e.mu.Lock()
+	if e.cache == nil {
+		e.cache = map[uint64]*store.Doc{}
+	}
+	sd, ok := e.cache[d.DocID()]
+	if !ok {
+		var buf bytes.Buffer
+		if err := store.WriteTo(&buf, d); err != nil {
+			e.mu.Unlock()
+			return xval.Value{}, err
+		}
+		var err error
+		sd, err = store.OpenReaderAt(bytes.NewReader(buf.Bytes()), store.Options{BufferPages: 8})
+		if err != nil {
+			e.mu.Unlock()
+			return xval.Value{}, err
+		}
+		e.cache[d.DocID()] = sd
+	}
+	e.mu.Unlock()
+	q, err := CompileWith(expr, Options{Namespaces: ns})
+	if err != nil {
+		return xval.Value{}, err
+	}
+	res, err := q.Run(RootNode(sd), vars)
+	if err != nil {
+		return xval.Value{}, err
+	}
+	// Node handles live in the store document; re-anchor them onto the
+	// original in-memory document for comparison (IDs are identical by
+	// construction).
+	if res.Value.IsNodeSet() {
+		nodes := make([]dom.Node, len(res.Value.Nodes))
+		for i, n := range res.Value.Nodes {
+			nodes[i] = dom.Node{Doc: d, ID: n.ID}
+		}
+		return xval.NodeSet(nodes), nil
+	}
+	return res.Value, nil
+}
+
+func TestConformanceStoreBacked(t *testing.T) {
+	conformance.Run(t, &storeEngine{})
+}
+
+// TestCrossDocumentVariables: node-set variables may hold nodes of another
+// document; set operations and ordering must stay coherent.
+func TestCrossDocumentVariables(t *testing.T) {
+	d1, _ := ParseDocumentString(`<r><a>1</a></r>`)
+	d2, _ := ParseDocumentString(`<r><b>2</b><b>3</b></r>`)
+	q2 := MustCompile("//b")
+	res2, err := q2.Run(RootNode(d2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := map[string]Value{"other": NodeSet(res2.Value.Nodes)}
+
+	q := MustCompile("$other | //a")
+	res, err := q.Run(RootNode(d1), vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Value.Nodes) != 3 {
+		t.Fatalf("cross-doc union size %d", len(res.Value.Nodes))
+	}
+	sorted := res.SortedNodes()
+	for i := 1; i < len(sorted); i++ {
+		if dom.CompareOrder(sorted[i-1], sorted[i]) >= 0 {
+			t.Fatal("cross-document order not antisymmetric")
+		}
+	}
+	// Navigation from foreign nodes works too.
+	q3 := MustCompile("count($other/..)")
+	res3, err := q3.Run(RootNode(d1), vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Value.N != 1 {
+		t.Errorf("parents of $other = %v", res3.Value.N)
+	}
+}

@@ -1,0 +1,69 @@
+// Positional predicates: how the algebra evaluates position() and last()
+// (paper sections 3.3.3, 3.3.4, 4.3.1) with the counting map χ_cp and the
+// context-size operator Tmp^cs, including the stacked-translation variant
+// Tmp^cs_c that detects context boundaries inside one pipelined tuple
+// stream.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"natix"
+)
+
+const doc = `
+<log>
+  <day date="mon"><e>a</e><e>b</e><e>c</e></day>
+  <day date="tue"><e>d</e></day>
+  <day date="wed"><e>e</e><e>f</e></day>
+</log>`
+
+func main() {
+	d, err := natix.ParseDocumentString(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	root := natix.RootNode(d)
+
+	show := func(expr string) {
+		q, err := natix.Compile(expr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := q.Run(root, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var vals []string
+		for _, n := range res.SortedNodes() {
+			vals = append(vals, n.StringValue())
+		}
+		fmt.Printf("%-42s -> %v\n", expr, vals)
+	}
+
+	// Positions count per context: each day's events independently.
+	show("//day/e[1]")
+	show("//day/e[last()]")
+	show("//day/e[position() = last() - 1]")
+	show("//day[last()]/e")
+	show("//day/e[position() > 1][position() < 3]") // predicates renumber
+
+	// Filter expressions count positions over the whole (document-ordered)
+	// sequence instead (section 3.4.2) — note the difference:
+	show("(//day/e)[1]")
+	show("(//day/e)[last()]")
+	show("(//e)[position() mod 2 = 1]")
+
+	// Reverse axes count in reverse document order.
+	show("//e[. = 'f']/../preceding-sibling::day[1]/@date")
+	show("//e[. = 'f']/../preceding-sibling::day[last()]/@date")
+
+	// The plans make the machinery visible: Tmp^cs appears only when
+	// last() is used, and carries the per-context variant in stacked
+	// pipelines.
+	for _, expr := range []string{"//day/e[2]", "//day/e[last()]"} {
+		fmt.Printf("\nplan for %s:\n", expr)
+		fmt.Print(natix.MustCompile(expr).ExplainAlgebra())
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: compile an XPath 1.0 expression through the full algebraic
+// pipeline and evaluate it against an in-memory document.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"natix"
+)
+
+const catalog = `
+<catalog>
+  <book id="b1" lang="en"><title>A Relational Model</title><price>35</price></book>
+  <book id="b2" lang="de"><title>Anatomy of a Database</title><price>42</price></book>
+  <book id="b3" lang="en"><title>Query Evaluation Techniques</title><price>28</price></book>
+</catalog>`
+
+func main() {
+	doc, err := natix.ParseDocumentString(catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	root := natix.RootNode(doc)
+
+	// A node-set query: titles of English books cheaper than 40.
+	q, err := natix.Compile("/catalog/book[@lang = 'en'][price < 40]/title")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := q.Run(root, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cheap English books:")
+	for _, n := range res.SortedNodes() {
+		fmt.Printf("  %s\n", n.StringValue())
+	}
+
+	// Scalar queries return booleans, numbers or strings directly.
+	for _, expr := range []string{
+		"count(/catalog/book)",
+		"sum(//price) div count(//price)",
+		"string(/catalog/book[last()]/title)",
+		"//book[@id = 'b2']/price > 40",
+	} {
+		q := natix.MustCompile(expr)
+		res, err := q.Run(root, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-45s = %s\n", expr, res.Value.String())
+	}
+
+	// Variables are bound at execution time.
+	q = natix.MustCompile("//book[price > $limit]/title")
+	res, err = q.Run(root, map[string]natix.Value{"limit": natix.Number(30)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("books over $30: %d\n", len(res.Value.Nodes))
+
+	// Every query can show its algebra plan.
+	fmt.Println("\nplan for //book[last()]/title:")
+	fmt.Print(natix.MustCompile("//book[last()]/title").ExplainAlgebra())
+}

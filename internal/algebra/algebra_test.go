@@ -1,0 +1,153 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"natix/internal/dom"
+	"natix/internal/sem"
+	"natix/internal/xval"
+)
+
+// samplePlan builds a representative plan touching most operator kinds.
+func samplePlan() Op {
+	step := &UnnestMap{
+		In:     &SingletonScan{},
+		InAttr: "c0", OutAttr: "c1",
+		Axis: dom.AxisDescendant,
+		Test: dom.NodeTest{Kind: dom.TestName, Local: "a"},
+	}
+	pos := &PosMap{In: step, Attr: "cp1"}
+	tmp := &TmpCS{In: pos, PosAttr: "cp1", OutAttr: "cs1"}
+	sel := &Select{In: tmp, Pred: &CompareExpr{
+		Op: xval.OpEq,
+		L:  &AttrRef{Name: "cp1"},
+		R:  &AttrRef{Name: "cs1"},
+	}}
+	dj := &DJoin{
+		L: &Map{In: &SingletonScan{}, Attr: "c0", Expr: &Root{X: &AttrRef{Name: "cn"}}},
+		R: &MemoX{In: sel, KeyAttr: "c0"},
+	}
+	return &DupElim{In: dj, Attr: "c1"}
+}
+
+func TestExplain(t *testing.T) {
+	out := Explain(samplePlan())
+	for _, frag := range []string{"Π^D[c1]", "<d-join>", "𝔐[key c0]", "σ[", "Tmp^cs[", "counter++", "Υ[c1:c0/descendant::a]", "root(cn)", "□"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Explain missing %q:\n%s", frag, out)
+		}
+	}
+	// Indentation encodes depth: the singleton scans are deepest.
+	if !strings.Contains(out, "  ") {
+		t.Error("Explain output is not indented")
+	}
+}
+
+func TestWalkVisitsNestedPlans(t *testing.T) {
+	inner := &UnnestMap{In: &SingletonScan{}, InAttr: "c1", OutAttr: "c9", Axis: dom.AxisChild, Test: dom.AnyNode}
+	sel := &Select{
+		In:   &SingletonScan{},
+		Pred: &NestedAgg{Agg: AggExists, Plan: inner, Attr: "c9"},
+	}
+	var kinds []string
+	Walk(sel, func(o Op) {
+		switch o.(type) {
+		case *Select:
+			kinds = append(kinds, "select")
+		case *UnnestMap:
+			kinds = append(kinds, "unnest")
+		case *SingletonScan:
+			kinds = append(kinds, "scan")
+		}
+	})
+	joined := strings.Join(kinds, " ")
+	if !strings.Contains(joined, "unnest") {
+		t.Errorf("Walk skipped the nested plan: %v", kinds)
+	}
+}
+
+func TestProducedAttrs(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{&UnnestMap{OutAttr: "c1"}, "c1"},
+		{&UnnestMap{OutAttr: "c1", EpochAttr: "e1"}, "c1 e1"},
+		{&Map{Attr: "v"}, "v"},
+		{&PosMap{Attr: "cp"}, "cp"},
+		{&TmpCS{OutAttr: "cs"}, "cs"},
+		{&Rename{From: "a", To: "b"}, "b"},
+		{&VarScan{Name: "x", Attr: "c2"}, "c2"},
+		{&Select{}, ""},
+		{&DupElim{}, ""},
+		{&SingletonScan{}, ""},
+	}
+	for _, c := range cases {
+		got := strings.Join(c.op.Produced(), " ")
+		if got != c.want {
+			t.Errorf("%T.Produced() = %q, want %q", c.op, got, c.want)
+		}
+	}
+}
+
+func TestScalarStrings(t *testing.T) {
+	scalars := []struct {
+		s    Scalar
+		want string
+	}{
+		{&Const{Val: xval.Str("x")}, "'x'"},
+		{&Const{Val: xval.Num(3)}, "3"},
+		{&XVar{Name: "v"}, "$v"},
+		{&AttrRef{Name: "cn"}, "cn"},
+		{&StrValue{X: &AttrRef{Name: "c1"}}, "strval(c1)"},
+		{&NegExpr{X: &Const{Val: xval.Num(1)}}, "-(1)"},
+		{&ArithExpr{Op: sem.OpMod, L: &AttrRef{Name: "a"}, R: &AttrRef{Name: "b"}}, "(a mod b)"},
+		{&LogicExpr{Or: true, Terms: []Scalar{&AttrRef{Name: "x"}, &AttrRef{Name: "y"}}}, "(x or y)"},
+		{&PredTruth{X: &XVar{Name: "v"}, Pos: &AttrRef{Name: "cp"}}, "pred-truth($v, cp)"},
+		{&Memo{X: &Const{Val: xval.Num(1)}, KeyAttr: "c1"}, "memo[c1](1)"},
+		{&Memo{X: &Const{Val: xval.Num(1)}}, "memo(1)"},
+		{&FuncExpr{ID: sem.FnContains, Args: []Scalar{&AttrRef{Name: "a"}, &Const{Val: xval.Str("x")}}}, "contains(a, 'x')"},
+	}
+	for _, c := range scalars {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("%T.String() = %q, want %q", c.s, got, c.want)
+		}
+	}
+}
+
+func TestWalkScalar(t *testing.T) {
+	s := &LogicExpr{Terms: []Scalar{
+		&CompareExpr{Op: xval.OpLt, L: &AttrRef{Name: "a"}, R: &Memo{X: &AttrRef{Name: "b"}}},
+		&FuncExpr{ID: sem.FnNot, Args: []Scalar{&AttrRef{Name: "c"}}},
+	}}
+	var attrs []string
+	WalkScalar(s, func(x Scalar) {
+		if a, ok := x.(*AttrRef); ok {
+			attrs = append(attrs, a.Name)
+		}
+	})
+	if strings.Join(attrs, "") != "abc" {
+		t.Errorf("WalkScalar attrs = %v", attrs)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	out := DOT(samplePlan())
+	for _, want := range []string{
+		"digraph plan {", "shape=box", "dep", "style=dashed|", "->", "}",
+	} {
+		if want == "style=dashed|" {
+			continue // only present with nested plans; samplePlan has none
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Nested subscript plans get dashed edges.
+	inner := &UnnestMap{In: &SingletonScan{}, InAttr: "c1", OutAttr: "c9", Axis: dom.AxisChild, Test: dom.AnyNode}
+	sel := &Select{In: &SingletonScan{}, Pred: &NestedAgg{Agg: AggExists, Plan: inner, Attr: "c9"}}
+	if out := DOT(sel); !strings.Contains(out, "style=dashed") || !strings.Contains(out, "exists") {
+		t.Errorf("nested DOT:\n%s", out)
+	}
+}

@@ -1,0 +1,45 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the operator tree as a Graphviz digraph, the query-tree
+// visualization style of the paper's Figs. 2-4 (dependent d-join inputs are
+// marked with an arrowhead edge label, nested subscript plans hang off
+// their operator with dashed edges).
+func DOT(root Op) string {
+	var sb strings.Builder
+	sb.WriteString("digraph plan {\n")
+	sb.WriteString("  node [shape=box, fontname=\"monospace\", fontsize=10];\n")
+	sb.WriteString("  edge [fontsize=9];\n")
+	next := 0
+	var emit func(op Op) int
+	emit = func(op Op) int {
+		id := next
+		next++
+		fmt.Fprintf(&sb, "  n%d [label=%q];\n", id, op.String())
+		children := op.Children()
+		for i, c := range children {
+			cid := emit(c)
+			label := ""
+			if _, isDJ := op.(*DJoin); isDJ && i == 1 {
+				label = " [label=\"dep\", style=bold]"
+			}
+			fmt.Fprintf(&sb, "  n%d -> n%d%s;\n", id, cid, label)
+		}
+		for _, s := range Scalars(op) {
+			WalkScalar(s, func(sc Scalar) {
+				if agg, ok := sc.(*NestedAgg); ok {
+					cid := emit(agg.Plan)
+					fmt.Fprintf(&sb, "  n%d -> n%d [style=dashed, label=%q];\n", id, cid, agg.Agg.String())
+				}
+			})
+		}
+		return id
+	}
+	emit(root)
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,230 @@
+// Package algebra defines the logical algebra of the paper (section 2.2):
+// sequence-valued operators over ordered tuple sequences (Fig. 1, plus the
+// Tmp^cs context-size operators of section 3.3.4/4.3.1 and the MemoX
+// memoization operator of section 4.2.2), and the scalar subscript language
+// those operators are parameterized with. Scalars are compiled to programs
+// of the Natix Virtual Machine (package nvm) by the code generator.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"natix/internal/sem"
+	"natix/internal/xval"
+)
+
+// Scalar is a non-sequence-valued subscript expression: it reads tuple
+// attributes and produces a value of a basic XPath type (or a node).
+type Scalar interface {
+	fmt.Stringer
+	scalarNode()
+}
+
+// AttrRef reads a tuple attribute (a node attribute like c1/cn, or a
+// scalar attribute like cp, cs, or a materialized predicate variable).
+type AttrRef struct {
+	Name string
+}
+
+// Const is a literal value.
+type Const struct {
+	Val xval.Value
+}
+
+// XVar reads an XPath $ variable from the execution context.
+type XVar struct {
+	Name string
+}
+
+// Root returns the document node of the document containing the node X
+// evaluates to (used to seed absolute paths).
+type Root struct {
+	X Scalar
+}
+
+// StrValue returns the XPath string-value of the node X evaluates to.
+type StrValue struct {
+	X Scalar
+}
+
+// ArithExpr is a numeric operation; operands are converted to numbers.
+type ArithExpr struct {
+	Op   sem.ArithOp
+	L, R Scalar
+}
+
+// NegExpr is unary minus.
+type NegExpr struct {
+	X Scalar
+}
+
+// CompareExpr compares two scalar values with the full rules of XPath 1.0
+// section 3.4 (operands may be nodes or collected node-sets).
+type CompareExpr struct {
+	Op   xval.CompareOp
+	L, R Scalar
+}
+
+// LogicExpr is short-circuit and/or over boolean-valued terms.
+type LogicExpr struct {
+	Or    bool
+	Terms []Scalar
+}
+
+// FuncExpr calls a simple function of the core library on already-evaluated
+// scalar arguments. Node-set-based functions appear here only with
+// node-valued or aggregated arguments (e.g. name(first-node), lang of the
+// context node).
+type FuncExpr struct {
+	ID   sem.FuncID
+	Args []Scalar
+}
+
+// AggKind selects the aggregation function of an 𝔄 operator (paper
+// section 3.6.2, plus the internal exists/max/min/first aggregates).
+type AggKind uint8
+
+// Aggregation functions.
+const (
+	// AggExists is the internal boolean exists() aggregate: false for the
+	// empty sequence, true otherwise. Evaluation stops at the first tuple
+	// (smart aggregation, section 5.2.5).
+	AggExists AggKind = iota
+	// AggCount counts tuples.
+	AggCount
+	// AggSum sums number(string-value) over the node attribute.
+	AggSum
+	// AggMax is the internal max() over number(string-value).
+	AggMax
+	// AggMin is the internal min() over number(string-value).
+	AggMin
+	// AggFirstNode returns the document-order-first node as a singleton
+	// node-set (implements string()/name()/number() over node-sets).
+	AggFirstNode
+	// AggCollect materializes the full node-set as a value; the generic
+	// escape hatch for comparisons against runtime-typed variables.
+	AggCollect
+)
+
+var aggNames = [...]string{
+	AggExists: "exists", AggCount: "count", AggSum: "sum",
+	AggMax: "max", AggMin: "min", AggFirstNode: "first", AggCollect: "collect",
+}
+
+// String returns the aggregate's name.
+func (k AggKind) String() string { return aggNames[k] }
+
+// NestedAgg evaluates a nested sequence-valued plan and aggregates it into
+// a scalar value: the 𝔄 operator used as a subscript (paper sections 3.6.2
+// and 5.2.3, "nested iterators"). Attr names the plan's node attribute.
+type NestedAgg struct {
+	Agg  AggKind
+	Plan Op
+	Attr string
+}
+
+// PredTruth is the runtime predicate-truth test for predicates of unknown
+// static type: a number result compares against the context position,
+// anything else converts to boolean.
+type PredTruth struct {
+	X   Scalar
+	Pos Scalar
+}
+
+// Memo caches the value of X per distinct value of the key attribute across
+// one query execution (the scalar-level counterpart of the
+// Hellerstein/Naughton function caching the paper cites for χ^mat, section
+// 4.3.2; also used to evaluate independent max()/min() aggregates of
+// node-set comparisons once per context instead of once per tuple). An
+// empty KeyAttr caches a single value.
+type Memo struct {
+	X       Scalar
+	KeyAttr string
+}
+
+func (*AttrRef) scalarNode()     {}
+func (*Const) scalarNode()       {}
+func (*XVar) scalarNode()        {}
+func (*Root) scalarNode()        {}
+func (*StrValue) scalarNode()    {}
+func (*ArithExpr) scalarNode()   {}
+func (*NegExpr) scalarNode()     {}
+func (*CompareExpr) scalarNode() {}
+func (*LogicExpr) scalarNode()   {}
+func (*FuncExpr) scalarNode()    {}
+func (*NestedAgg) scalarNode()   {}
+func (*PredTruth) scalarNode()   {}
+func (*Memo) scalarNode()        {}
+
+// String implements fmt.Stringer.
+func (s *AttrRef) String() string { return s.Name }
+
+// String implements fmt.Stringer.
+func (s *Const) String() string {
+	if s.Val.Kind == xval.KindString {
+		return "'" + s.Val.S + "'"
+	}
+	return s.Val.String()
+}
+
+// String implements fmt.Stringer.
+func (s *XVar) String() string { return "$" + s.Name }
+
+// String implements fmt.Stringer.
+func (s *Root) String() string { return fmt.Sprintf("root(%s)", s.X) }
+
+// String implements fmt.Stringer.
+func (s *StrValue) String() string { return fmt.Sprintf("strval(%s)", s.X) }
+
+// String implements fmt.Stringer.
+func (s *ArithExpr) String() string { return fmt.Sprintf("(%s %s %s)", s.L, s.Op, s.R) }
+
+// String implements fmt.Stringer.
+func (s *NegExpr) String() string { return fmt.Sprintf("-(%s)", s.X) }
+
+// String implements fmt.Stringer.
+func (s *CompareExpr) String() string { return fmt.Sprintf("(%s %s %s)", s.L, s.Op, s.R) }
+
+// String implements fmt.Stringer.
+func (s *LogicExpr) String() string {
+	op := " and "
+	if s.Or {
+		op = " or "
+	}
+	parts := make([]string, len(s.Terms))
+	for i, t := range s.Terms {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, op) + ")"
+}
+
+// String implements fmt.Stringer.
+func (s *FuncExpr) String() string {
+	parts := make([]string, len(s.Args))
+	for i, a := range s.Args {
+		parts[i] = a.String()
+	}
+	return sem.FunctionByID(s.ID).Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// String implements fmt.Stringer.
+func (s *NestedAgg) String() string {
+	return fmt.Sprintf("𝔄[%s;%s]{%s}", s.Agg, s.Attr, compact(s.Plan))
+}
+
+// String implements fmt.Stringer.
+func (s *PredTruth) String() string { return fmt.Sprintf("pred-truth(%s, %s)", s.X, s.Pos) }
+
+// String implements fmt.Stringer.
+func (s *Memo) String() string {
+	if s.KeyAttr == "" {
+		return fmt.Sprintf("memo(%s)", s.X)
+	}
+	return fmt.Sprintf("memo[%s](%s)", s.KeyAttr, s.X)
+}
+
+// compact renders a nested plan on one line for subscript display.
+func compact(op Op) string {
+	return strings.Join(strings.Fields(Explain(op)), " ")
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFigureHarness runs a miniature sweep of every figure and checks that
+// engines agree on result cardinalities — the harness's own correctness
+// guard.
+func TestFigureHarness(t *testing.T) {
+	cfg := Config{Sizes: []int{500}, Repeats: 1, Budget: time.Minute}
+	for _, fig := range []string{"fig6", "fig7", "fig8", "fig9"} {
+		ms, err := RunFigure(fig, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", fig, err)
+		}
+		if len(ms) != len(AllEngines) {
+			t.Fatalf("%s: %d measurements", fig, len(ms))
+		}
+		want := ms[0].Result
+		for _, m := range ms {
+			if m.Skipped {
+				continue
+			}
+			if m.Result != want {
+				t.Errorf("%s: engine %s result %d != %d", fig, m.Engine, m.Result, want)
+			}
+			if m.Duration <= 0 {
+				t.Errorf("%s: engine %s has no duration", fig, m.Engine)
+			}
+		}
+	}
+}
+
+func TestFig10Harness(t *testing.T) {
+	ms, err := RunFig10(300, Config{Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2*len(Fig10) {
+		t.Fatalf("measurements %d", len(ms))
+	}
+	byQuery := map[string][]Measurement{}
+	for _, m := range ms {
+		byQuery[m.Query] = append(byQuery[m.Query], m)
+	}
+	for q, pair := range byQuery {
+		if pair[0].Result != pair[1].Result {
+			t.Errorf("%s: %s=%d vs %s=%d", q,
+				pair[0].Engine, pair[0].Result, pair[1].Engine, pair[1].Result)
+		}
+	}
+	// Sanity of selected cardinalities.
+	res := map[string]int{}
+	for _, m := range ms {
+		res[m.Query] = m.Result
+	}
+	if res["d03"] != 1 || res["d05"] != 1 || res["d11"] != 1 {
+		t.Errorf("positional/key queries should return one node: %v", res)
+	}
+	if res["d04"] == 0 || res["d04"] > 99 {
+		t.Errorf("d04 (position()<100) = %d, want 1..99 (articles are ~30%% of 300 pubs)", res["d04"])
+	}
+	if res["d07"] < res["d01"] {
+		t.Errorf("union smaller than one branch: %v", res)
+	}
+	if res["d10"] == 0 {
+		t.Error("author query found nothing; generator pool broken?")
+	}
+}
+
+func TestAblationHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	ms, err := RunAblations(Config{Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byExp := map[string][]Measurement{}
+	for _, m := range ms {
+		byExp[m.Exp] = append(byExp[m.Exp], m)
+	}
+	for exp, pair := range byExp {
+		if len(pair) != 2 {
+			t.Fatalf("%s: %d variants", exp, len(pair))
+		}
+		if pair[0].Result != pair[1].Result {
+			t.Errorf("%s: variants disagree: %d vs %d", exp, pair[0].Result, pair[1].Result)
+		}
+	}
+}
+
+func TestBufferAblation(t *testing.T) {
+	pts, err := RunBufferAblation(2000, []int{4, 256}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points %d", len(pts))
+	}
+	small, large := pts[0], pts[1]
+	if small.Stats.Misses <= large.Stats.Misses {
+		t.Errorf("small buffer should miss more: %+v vs %+v", small.Stats, large.Stats)
+	}
+}

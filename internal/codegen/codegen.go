@@ -1,0 +1,541 @@
+// Package codegen is step 6 of the compilation pipeline (paper section
+// 5.1): it turns a translated logical plan into an executable physical plan
+// for the NQE. Its attribute manager maps attributes to registers of the
+// virtual machine's register file; attribute renamings and pure attribute
+// maps become register aliases, so no copy instructions are emitted.
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"natix/internal/algebra"
+	"natix/internal/dom"
+	"natix/internal/nvm"
+	"natix/internal/physical"
+	"natix/internal/translate"
+	"natix/internal/xfn"
+	"natix/internal/xval"
+)
+
+// builder instantiates an iterator bound to a specific execution.
+type builder func(ex *physical.Exec) physical.Iter
+
+// Plan is a compiled, executable query. A Plan is immutable and safe for
+// concurrent Run calls; each run gets its own register file and machine.
+type Plan struct {
+	source  *translate.Result
+	numRegs int
+	ctxReg  int
+
+	root        builder // nil for scalar queries
+	rootAttrReg int
+	scalarProg  *nvm.Program
+
+	subplans []builder
+	numMemos int
+
+	// DisableSmartAgg turns off aggregate early exit for ablations.
+	DisableSmartAgg bool
+
+	// regs and progs preserve the attribute manager's mapping and the
+	// compiled subscript programs for ExplainPhysical.
+	regs  map[string]int
+	progs map[algebra.Op][]*nvm.Program
+
+	ids   *xfn.IDIndex
+	names *xfn.NameIndex
+}
+
+// Compile generates the physical plan for a translation result.
+func Compile(res *translate.Result) (*Plan, error) {
+	g := &generator{
+		plan: &Plan{
+			source: res,
+			ids:    xfn.NewIDIndex(),
+			names:  xfn.GlobalNames,
+			progs:  map[algebra.Op][]*nvm.Program{},
+		},
+		regs: map[string]int{},
+	}
+	g.plan.ctxReg = g.regFor(translate.TopContextAttr)
+	if res.IsSequence() {
+		b, err := g.compile(res.Plan)
+		if err != nil {
+			return nil, err
+		}
+		g.plan.root = b
+		g.plan.rootAttrReg = g.regFor(res.Attr)
+	} else {
+		prog, err := g.compileScalar(res.Scalar)
+		if err != nil {
+			return nil, err
+		}
+		g.plan.scalarProg = prog
+	}
+	g.plan.numRegs = g.next
+	g.plan.regs = g.regs
+	return g.plan, nil
+}
+
+// Result is the outcome of one execution.
+type Result struct {
+	Value xval.Value
+	Stats physical.Stats
+}
+
+// Run executes the plan with the given context node and variable bindings.
+func (p *Plan) Run(ctx dom.Node, vars map[string]xval.Value) (*Result, error) {
+	if ctx.IsNil() {
+		return nil, fmt.Errorf("codegen: nil context node")
+	}
+	m := &nvm.Machine{
+		Regs:        make([]nvm.Val, p.numRegs),
+		Vars:        vars,
+		Memos:       make([]map[any]nvm.Val, p.numMemos),
+		NoEarlyExit: p.DisableSmartAgg,
+	}
+	ex := &physical.Exec{M: m, IDs: p.ids, Names: p.names, CtxDoc: ctx.Doc}
+	m.Regs[p.ctxReg] = nvm.NodeVal(ctx)
+	m.Subplans = make([]nvm.Iterator, len(p.subplans))
+	for i, b := range p.subplans {
+		m.Subplans[i] = b(ex)
+	}
+
+	if p.scalarProg != nil {
+		v, err := m.Run(p.scalarProg)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Value: v.Value(), Stats: ex.Stats}, nil
+	}
+
+	it := p.root(ex)
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	var nodes []dom.Node
+	for {
+		ok, err := it.Next()
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		nodes = append(nodes, m.Regs[p.rootAttrReg].Node())
+	}
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
+	return &Result{Value: xval.NodeSet(nodes), Stats: ex.Stats}, nil
+}
+
+// Explain renders the logical plan the physical plan was generated from.
+func (p *Plan) Explain() string {
+	if p.source.IsSequence() {
+		return algebra.Explain(p.source.Plan)
+	}
+	return p.source.Scalar.String() + "\n"
+}
+
+// generator carries compilation state: the attribute manager (regs) and
+// the accumulating plan.
+type generator struct {
+	plan *Plan
+	regs map[string]int
+	next int
+}
+
+// regFor resolves an attribute to its register, allocating on first use.
+func (g *generator) regFor(attr string) int {
+	if r, ok := g.regs[attr]; ok {
+		return r
+	}
+	r := g.next
+	g.next++
+	g.regs[attr] = r
+	return r
+}
+
+// alias binds attribute to the register of from without allocating.
+func (g *generator) alias(attr, from string) {
+	g.regs[attr] = g.regFor(from)
+}
+
+// producedRegs collects the registers bound by ops of the subtree (the
+// snapshot set of materializing operators). Nested subscript plans
+// re-evaluate and are excluded.
+func (g *generator) producedRegs(op algebra.Op) []int {
+	set := map[int]struct{}{}
+	var walk func(algebra.Op)
+	walk = func(o algebra.Op) {
+		for _, a := range o.Produced() {
+			set[g.regFor(a)] = struct{}{}
+		}
+		for _, c := range o.Children() {
+			walk(c)
+		}
+	}
+	walk(op)
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (g *generator) compile(op algebra.Op) (builder, error) {
+	switch o := op.(type) {
+	case *algebra.SingletonScan:
+		return func(*physical.Exec) physical.Iter { return &physical.SingletonScan{} }, nil
+
+	case *algebra.IndexScan:
+		out := g.regFor(o.Attr)
+		uri, local := indexKey(o.Test)
+		return func(ex *physical.Exec) physical.Iter {
+			return &physical.IndexScan{Ex: ex, OutReg: out, URI: uri, Local: local}
+		}, nil
+
+	case *algebra.VarScan:
+		out := g.regFor(o.Attr)
+		name := o.Name
+		return func(ex *physical.Exec) physical.Iter {
+			return &physical.VarScan{Ex: ex, Name: name, OutReg: out}
+		}, nil
+
+	case *algebra.UnnestMap:
+		in, err := g.compile(o.In)
+		if err != nil {
+			return nil, err
+		}
+		inReg := g.regFor(o.InAttr)
+		outReg := g.regFor(o.OutAttr)
+		epochReg := -1
+		if o.EpochAttr != "" {
+			epochReg = g.regFor(o.EpochAttr)
+		}
+		axis, test := o.Axis, o.Test
+		return func(ex *physical.Exec) physical.Iter {
+			return &physical.UnnestMap{
+				Ex: ex, In: in(ex), InReg: inReg, OutReg: outReg,
+				EpochReg: epochReg, Axis: axis, Test: test,
+			}
+		}, nil
+
+	case *algebra.Select:
+		in, err := g.compile(o.In)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := g.compileScalar(o.Pred)
+		if err != nil {
+			return nil, err
+		}
+		g.plan.progs[op] = append(g.plan.progs[op], prog)
+		return func(ex *physical.Exec) physical.Iter {
+			return &physical.Select{Ex: ex, In: in(ex), Prog: prog}
+		}, nil
+
+	case *algebra.Map:
+		// Pure attribute access: alias registers, emit nothing (the
+		// attribute manager optimization of section 5.1).
+		if ref, ok := o.Expr.(*algebra.AttrRef); ok {
+			in, err := g.compile(o.In)
+			if err != nil {
+				return nil, err
+			}
+			g.alias(o.Attr, ref.Name)
+			return in, nil
+		}
+		return g.compileMap(op, o.In, o.Attr, o.Expr)
+
+	case *algebra.MemoMap:
+		// χ^mat: a map whose program caches per key attribute.
+		return g.compileMap(op, o.In, o.Attr, &algebra.Memo{X: o.Expr, KeyAttr: o.KeyAttr})
+
+	case *algebra.PosMap:
+		in, err := g.compile(o.In)
+		if err != nil {
+			return nil, err
+		}
+		outReg := g.regFor(o.Attr)
+		epochReg := -1
+		if o.CtxAttr != "" {
+			epochReg = g.regFor(o.CtxAttr)
+		}
+		return func(ex *physical.Exec) physical.Iter {
+			return &physical.PosMap{Ex: ex, In: in(ex), OutReg: outReg, EpochReg: epochReg}
+		}, nil
+
+	case *algebra.TmpCS:
+		in, err := g.compile(o.In)
+		if err != nil {
+			return nil, err
+		}
+		posReg := g.regFor(o.PosAttr)
+		outReg := g.regFor(o.OutAttr)
+		epochReg := -1
+		if o.CtxAttr != "" {
+			epochReg = g.regFor(o.CtxAttr)
+		}
+		save := g.producedRegs(o.In)
+		return func(ex *physical.Exec) physical.Iter {
+			return &physical.TmpCS{
+				Ex: ex, In: in(ex), PosReg: posReg, OutReg: outReg,
+				EpochReg: epochReg, SaveRegs: save,
+			}
+		}, nil
+
+	case *algebra.DJoin:
+		l, err := g.compile(o.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := g.compile(o.R)
+		if err != nil {
+			return nil, err
+		}
+		return func(ex *physical.Exec) physical.Iter {
+			return &physical.DJoin{L: l(ex), R: r(ex)}
+		}, nil
+
+	case *algebra.MemoX:
+		in, err := g.compile(o.In)
+		if err != nil {
+			return nil, err
+		}
+		keyReg := g.regFor(o.KeyAttr)
+		save := g.producedRegs(o.In)
+		return func(ex *physical.Exec) physical.Iter {
+			return &physical.MemoX{Ex: ex, In: in(ex), KeyReg: keyReg, SaveRegs: save}
+		}, nil
+
+	case *algebra.DupElim:
+		in, err := g.compile(o.In)
+		if err != nil {
+			return nil, err
+		}
+		attrReg := g.regFor(o.Attr)
+		return func(ex *physical.Exec) physical.Iter {
+			return &physical.DupElim{Ex: ex, In: in(ex), AttrReg: attrReg}
+		}, nil
+
+	case *algebra.Concat:
+		ins := make([]builder, len(o.Ins))
+		for i, c := range o.Ins {
+			b, err := g.compile(c)
+			if err != nil {
+				return nil, err
+			}
+			ins[i] = b
+		}
+		return func(ex *physical.Exec) physical.Iter {
+			its := make([]physical.Iter, len(ins))
+			for i, b := range ins {
+				its[i] = b(ex)
+			}
+			return &physical.Concat{Ins: its}
+		}, nil
+
+	case *algebra.Rename:
+		// Bind the source attribute to the target's register BEFORE
+		// compiling the input, so the producers inside write directly into
+		// the shared register. This direction matters for unions: every
+		// branch renames its own attribute to the common one, and aliasing
+		// the other way would leave earlier branches writing elsewhere.
+		g.alias(o.From, o.To)
+		return g.compile(o.In)
+
+	case *algebra.Sort:
+		in, err := g.compile(o.In)
+		if err != nil {
+			return nil, err
+		}
+		attrReg := g.regFor(o.Attr)
+		save := g.producedRegs(o.In)
+		return func(ex *physical.Exec) physical.Iter {
+			return &physical.SortIter{Ex: ex, In: in(ex), AttrReg: attrReg, SaveRegs: save}
+		}, nil
+
+	case *algebra.Tokenize:
+		in, err := g.compile(o.In)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := g.compileScalar(o.Expr)
+		if err != nil {
+			return nil, err
+		}
+		g.plan.progs[op] = append(g.plan.progs[op], prog)
+		outReg := g.regFor(o.Attr)
+		return func(ex *physical.Exec) physical.Iter {
+			return &physical.TokenizeIter{Ex: ex, In: in(ex), Prog: prog, OutReg: outReg}
+		}, nil
+
+	case *algebra.Deref:
+		in, err := g.compile(o.In)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := g.compileScalar(o.Expr)
+		if err != nil {
+			return nil, err
+		}
+		g.plan.progs[op] = append(g.plan.progs[op], prog)
+		outReg := g.regFor(o.Attr)
+		return func(ex *physical.Exec) physical.Iter {
+			return &physical.DerefIter{Ex: ex, In: in(ex), Prog: prog, OutReg: outReg}
+		}, nil
+
+	case *algebra.Cross:
+		l, err := g.compile(o.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := g.compile(o.R)
+		if err != nil {
+			return nil, err
+		}
+		save := g.producedRegs(o.R)
+		return func(ex *physical.Exec) physical.Iter {
+			return &physical.CrossIter{Ex: ex, L: l(ex), R: r(ex), RSaveRegs: save}
+		}, nil
+
+	case *algebra.Unnest:
+		in, err := g.compile(o.In)
+		if err != nil {
+			return nil, err
+		}
+		attrReg := g.regFor(o.Attr)
+		outReg := g.regFor(o.OutAttr)
+		return func(ex *physical.Exec) physical.Iter {
+			return &physical.UnnestIter{Ex: ex, In: in(ex), AttrReg: attrReg, OutReg: outReg}
+		}, nil
+
+	case *algebra.Group:
+		l, err := g.compile(o.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := g.compile(o.R)
+		if err != nil {
+			return nil, err
+		}
+		outReg := g.regFor(o.OutAttr)
+		lReg := g.regFor(o.LAttr)
+		rReg := g.regFor(o.RAttr)
+		aggReg := g.regFor(o.AggAttr)
+		theta, agg := o.Theta, aggCode(o.Agg)
+		return func(ex *physical.Exec) physical.Iter {
+			return &physical.GroupIter{
+				Ex: ex, L: l(ex), R: r(ex), OutReg: outReg,
+				LReg: lReg, RReg: rReg, AggReg: aggReg, Theta: theta, Agg: agg,
+			}
+		}, nil
+
+	case *algebra.ExistsJoin:
+		l, err := g.compile(o.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := g.compile(o.R)
+		if err != nil {
+			return nil, err
+		}
+		lReg := g.regFor(o.LAttr)
+		rReg := g.regFor(o.RAttr)
+		eq := o.Eq
+		return func(ex *physical.Exec) physical.Iter {
+			return &physical.ExistsJoin{Ex: ex, L: l(ex), R: r(ex), LReg: lReg, RReg: rReg, Eq: eq}
+		}, nil
+	}
+	return nil, fmt.Errorf("codegen: unsupported operator %T", op)
+}
+
+// indexKey maps a name test to the NameIndex lookup key.
+func indexKey(t dom.NodeTest) (uri, local string) {
+	switch t.Kind {
+	case dom.TestAnyName:
+		return "*", ""
+	case dom.TestNSName:
+		return t.URI, "*"
+	default:
+		return t.URI, t.Local
+	}
+}
+
+func (g *generator) compileMap(op, in algebra.Op, attr string, expr algebra.Scalar) (builder, error) {
+	inB, err := g.compile(in)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := g.compileScalar(expr)
+	if err != nil {
+		return nil, err
+	}
+	g.plan.progs[op] = append(g.plan.progs[op], prog)
+	outReg := g.regFor(attr)
+	return func(ex *physical.Exec) physical.Iter {
+		return &physical.Map{Ex: ex, In: inB(ex), Prog: prog, OutReg: outReg}
+	}, nil
+}
+
+// ExplainPhysical renders the generated physical plan: the operator tree
+// with resolved register assignments, and the NVM disassembly of every
+// subscript program — "an execution plan in the NQE syntax" (section 5.1).
+func (p *Plan) ExplainPhysical() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "registers: %d", p.numRegs)
+	names := make([]string, 0, len(p.regs))
+	for n := range p.regs {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if p.regs[names[i]] != p.regs[names[j]] {
+			return p.regs[names[i]] < p.regs[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	for _, n := range names {
+		fmt.Fprintf(&sb, "  %s=r%d", n, p.regs[n])
+	}
+	sb.WriteByte('\n')
+	if p.scalarProg != nil {
+		sb.WriteString(indent(p.scalarProg.Disasm(), "  "))
+		return sb.String()
+	}
+	p.explainOp(&sb, p.source.Plan, 0)
+	return sb.String()
+}
+
+func (p *Plan) explainOp(sb *strings.Builder, op algebra.Op, depth int) {
+	pad := strings.Repeat("  ", depth)
+	fmt.Fprintf(sb, "%s%s\n", pad, op)
+	for _, prog := range p.progs[op] {
+		sb.WriteString(indent(prog.Disasm(), pad+"  | "))
+	}
+	// Nested subscript plans (aggregation subplans) follow their program.
+	for _, sc := range algebra.Scalars(op) {
+		algebra.WalkScalar(sc, func(s algebra.Scalar) {
+			if agg, ok := s.(*algebra.NestedAgg); ok {
+				fmt.Fprintf(sb, "%s  |-- nested plan (%s over %s):\n", pad, agg.Agg, agg.Attr)
+				p.explainOp(sb, agg.Plan, depth+2)
+			}
+		})
+	}
+	for _, c := range op.Children() {
+		p.explainOp(sb, c, depth+1)
+	}
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = pad + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,148 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"natix/internal/dom"
+	"natix/internal/sem"
+	"natix/internal/translate"
+	"natix/internal/xpath"
+	"natix/internal/xval"
+)
+
+func compileQuery(t *testing.T, expr string, opt translate.Options) *Plan {
+	t.Helper()
+	ast, err := xpath.Parse(expr)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	root, err := sem.Analyze(ast, nil)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	res, err := translate.Translate(root, opt)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	plan, err := Compile(res)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return plan
+}
+
+func runQuery(t *testing.T, plan *Plan, doc dom.Document) xval.Value {
+	t.Helper()
+	res, err := plan.Run(dom.Node{Doc: doc, ID: doc.Root()}, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.Value
+}
+
+const sample = `<a><b k="1">x</b><b k="2">y</b><c>z</c></a>`
+
+func TestRunSequence(t *testing.T) {
+	d, _ := dom.ParseString(sample)
+	plan := compileQuery(t, "/a/b", translate.Improved())
+	v := runQuery(t, plan, d)
+	if !v.IsNodeSet() || len(v.Nodes) != 2 {
+		t.Fatalf("result %v", v)
+	}
+}
+
+func TestRunScalar(t *testing.T) {
+	d, _ := dom.ParseString(sample)
+	plan := compileQuery(t, "count(/a/*) * 10", translate.Improved())
+	v := runQuery(t, plan, d)
+	if v.Kind != xval.KindNumber || v.N != 30 {
+		t.Fatalf("result %v", v)
+	}
+}
+
+func TestNilContext(t *testing.T) {
+	plan := compileQuery(t, "/a", translate.Improved())
+	if _, err := plan.Run(dom.Node{}, nil); err == nil {
+		t.Error("nil context accepted")
+	}
+}
+
+// TestAliasingSharesRegisters: renames and pure attribute maps must not
+// allocate extra registers — the attribute manager resolves them.
+func TestAliasingSharesRegisters(t *testing.T) {
+	plan := compileQuery(t, "a | b | c", translate.Improved())
+	// The three branches share the output register; with aliasing the
+	// register count stays small (cn + shared out + 3 step outputs).
+	if plan.numRegs > 6 {
+		t.Errorf("union plan uses %d registers, aliasing broken?", plan.numRegs)
+	}
+	d, _ := dom.ParseString("<r><a/><c/><b/></r>")
+	// Relative: context is the r element.
+	r := d.FirstChild(d.Root())
+	res, err := plan.Run(dom.Node{Doc: d, ID: r}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Value.Nodes) != 3 {
+		t.Errorf("union result %v", res.Value.Nodes)
+	}
+}
+
+func TestConcurrentRuns(t *testing.T) {
+	d, _ := dom.ParseString(sample)
+	plan := compileQuery(t, "/a/b[@k = '2']", translate.Improved())
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 50; j++ {
+				res, err := plan.Run(dom.Node{Doc: d, ID: d.Root()}, nil)
+				if err != nil {
+					done <- err
+					return
+				}
+				if len(res.Value.Nodes) != 1 {
+					done <- fmt.Errorf("bad result size %d", len(res.Value.Nodes))
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExplainOutputs(t *testing.T) {
+	plan := compileQuery(t, "/a/b[1]", translate.Improved())
+	if !strings.Contains(plan.Explain(), "Υ") {
+		t.Errorf("explain: %s", plan.Explain())
+	}
+	scalar := compileQuery(t, "1 + count(//a)", translate.Improved())
+	if !strings.Contains(scalar.Explain(), "count") {
+		t.Errorf("scalar explain: %s", scalar.Explain())
+	}
+}
+
+func TestExplainPhysical(t *testing.T) {
+	plan := compileQuery(t, "/a/b[last()][@k = '1']", translate.Improved())
+	out := plan.ExplainPhysical()
+	for _, want := range []string{
+		"registers:", "cn=r0", "Tmp^cs", "cmp", "loadr", "strval",
+		"nested plan", "agg", "end",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ExplainPhysical missing %q:\n%s", want, out)
+		}
+	}
+	// Scalar plans disassemble the top-level program.
+	scalar := compileQuery(t, "count(//a) + 1", translate.Improved())
+	sout := scalar.ExplainPhysical()
+	if !strings.Contains(sout, "arith") || !strings.Contains(sout, "agg") {
+		t.Errorf("scalar ExplainPhysical:\n%s", sout)
+	}
+}

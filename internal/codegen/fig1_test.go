@@ -1,0 +1,145 @@
+package codegen
+
+import (
+	"testing"
+
+	"natix/internal/algebra"
+	"natix/internal/dom"
+	"natix/internal/translate"
+	"natix/internal/xval"
+)
+
+// compilePlan compiles a hand-built sequence plan (as the Workflow of a
+// future cost-based optimizer would produce) and runs it, returning the
+// result node-set.
+func compilePlan(t *testing.T, plan algebra.Op, attr string, doc dom.Document) xval.Value {
+	t.Helper()
+	res := &translate.Result{Plan: plan, Attr: attr}
+	p, err := Compile(res)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	out, err := p.Run(dom.Node{Doc: doc, ID: doc.Root()}, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out.Value
+}
+
+// ctxSeed builds the plan prefix binding the context node to attribute c0.
+func ctxSeed() algebra.Op {
+	return &algebra.Map{
+		In:   &algebra.SingletonScan{},
+		Attr: "c0",
+		Expr: &algebra.AttrRef{Name: translate.TopContextAttr},
+	}
+}
+
+func childStep(in algebra.Op, inAttr, outAttr, name string) algebra.Op {
+	test := dom.AnyNode
+	if name != "" {
+		test = dom.NodeTest{Kind: dom.TestName, Local: name}
+	}
+	return &algebra.UnnestMap{In: in, InAttr: inAttr, OutAttr: outAttr, Axis: dom.AxisChild, Test: test}
+}
+
+func TestHandBuiltCross(t *testing.T) {
+	d, _ := dom.ParseString("<r><a/><a/><b/></r>")
+	// (child::a of r) × (child::b of r): 2×1 combinations; project the b.
+	root := childStep(ctxSeed(), "c0", "c1", "") // the r element
+	left := childStep(root, "c1", "c2", "a")
+	right := childStep(
+		&algebra.Map{In: &algebra.SingletonScan{}, Attr: "d0", Expr: &algebra.AttrRef{Name: translate.TopContextAttr}},
+		"d0", "d1", "")
+	right = childStep(right, "d1", "d2", "b")
+	cross := &algebra.Cross{L: left, R: right}
+	v := compilePlan(t, cross, "c2", d)
+	if len(v.Nodes) != 2 {
+		t.Errorf("cross produced %d tuples, want 2 (2 a's × 1 b)", len(v.Nodes))
+	}
+}
+
+func TestHandBuiltUnnest(t *testing.T) {
+	d, _ := dom.ParseString("<r><a/><b/><c/></r>")
+	// χ[set := collect(children)] over the singleton, then μ[set].
+	r := childStep(ctxSeed(), "c0", "c1", "")
+	collect := &algebra.Map{
+		In:   &algebra.SingletonScan{},
+		Attr: "set",
+		Expr: &algebra.NestedAgg{
+			Agg:  algebra.AggCollect,
+			Plan: childStep(r, "c1", "cc", ""),
+			Attr: "cc",
+		},
+	}
+	un := &algebra.Unnest{In: collect, Attr: "set", OutAttr: "out"}
+	v := compilePlan(t, un, "out", d)
+	if len(v.Nodes) != 3 {
+		t.Fatalf("unnest produced %d nodes, want 3", len(v.Nodes))
+	}
+	names := ""
+	for _, n := range v.Nodes {
+		names += n.LocalName()
+	}
+	if names != "abc" {
+		t.Errorf("unnest order: %q", names)
+	}
+}
+
+func TestHandBuiltGroup(t *testing.T) {
+	d, _ := dom.ParseString(`<r><g k="1"/><g k="2"/><v k="1"/><v k="1"/><v k="2"/></r>`)
+	attr := func(in algebra.Op, inAttr, outAttr string) algebra.Op {
+		return &algebra.UnnestMap{In: in, InAttr: inAttr, OutAttr: outAttr,
+			Axis: dom.AxisAttribute, Test: dom.NodeTest{Kind: dom.TestName, Local: "k"}}
+	}
+	r := childStep(ctxSeed(), "c0", "c1", "")
+	gs := attr(childStep(r, "c1", "g", "g"), "g", "gk")
+
+	r2 := childStep(
+		&algebra.Map{In: &algebra.SingletonScan{}, Attr: "d0", Expr: &algebra.AttrRef{Name: translate.TopContextAttr}},
+		"d0", "d1", "")
+	vs := attr(childStep(r2, "d1", "v", "v"), "v", "vk")
+
+	// For each g, count the v's with an equal k attribute: the exact
+	// shape of the paper's Γ definition for Tmp^cs_c (section 4.3.1).
+	grp := &algebra.Group{
+		L: gs, R: vs, OutAttr: "cnt",
+		LAttr: "gk", RAttr: "vk", Theta: xval.OpEq,
+		Agg: algebra.AggCount, AggAttr: "vk",
+	}
+	// Keep only groups with exactly two members; project the g element.
+	sel := &algebra.Select{In: grp, Pred: &algebra.CompareExpr{
+		Op: xval.OpEq, L: &algebra.AttrRef{Name: "cnt"}, R: &algebra.Const{Val: xval.Num(2)},
+	}}
+	v := compilePlan(t, sel, "g", d)
+	if len(v.Nodes) != 1 {
+		t.Fatalf("group+select produced %d, want 1 (only k=1 has two v's)", len(v.Nodes))
+	}
+	survivor := v.Nodes[0]
+	if survivor.LocalName() != "g" {
+		t.Errorf("survivor is %q, want a g element", survivor.LocalName())
+	}
+	if k := survivor.Doc.Value(survivor.Doc.FirstAttr(survivor.ID)); k != "1" {
+		t.Errorf("survivor @k = %q, want 1", k)
+	}
+}
+
+func TestHandBuiltPlanExplain(t *testing.T) {
+	d, _ := dom.ParseString("<r><a/></r>")
+	plan := childStep(ctxSeed(), "c0", "c1", "")
+	res := &translate.Result{Plan: plan, Attr: "c1"}
+	p, err := Compile(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Explain() == "" || p.ExplainPhysical() == "" {
+		t.Error("empty explanations for hand-built plan")
+	}
+	out, err := p.Run(dom.Node{Doc: d, ID: d.Root()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Value.Nodes) != 1 {
+		t.Errorf("hand-built plan result %v", out.Value.Nodes)
+	}
+}

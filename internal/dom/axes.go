@@ -1,0 +1,391 @@
+package dom
+
+import "fmt"
+
+// Axis is one of the thirteen XPath location step axes.
+type Axis uint8
+
+// The thirteen axes of XPath 1.0.
+const (
+	AxisChild Axis = iota
+	AxisDescendant
+	AxisParent
+	AxisAncestor
+	AxisFollowingSibling
+	AxisPrecedingSibling
+	AxisFollowing
+	AxisPreceding
+	AxisAttribute
+	AxisNamespace
+	AxisSelf
+	AxisDescendantOrSelf
+	AxisAncestorOrSelf
+)
+
+// AxisCount is the number of axes (for table-driven code).
+const AxisCount = int(AxisAncestorOrSelf) + 1
+
+var axisNames = [...]string{
+	AxisChild:            "child",
+	AxisDescendant:       "descendant",
+	AxisParent:           "parent",
+	AxisAncestor:         "ancestor",
+	AxisFollowingSibling: "following-sibling",
+	AxisPrecedingSibling: "preceding-sibling",
+	AxisFollowing:        "following",
+	AxisPreceding:        "preceding",
+	AxisAttribute:        "attribute",
+	AxisNamespace:        "namespace",
+	AxisSelf:             "self",
+	AxisDescendantOrSelf: "descendant-or-self",
+	AxisAncestorOrSelf:   "ancestor-or-self",
+}
+
+// String returns the XPath spelling of the axis.
+func (a Axis) String() string {
+	if int(a) < len(axisNames) {
+		return axisNames[a]
+	}
+	return fmt.Sprintf("Axis(%d)", uint8(a))
+}
+
+// AxisByName resolves an axis name (the unabbreviated XPath spelling).
+func AxisByName(name string) (Axis, bool) {
+	for a, n := range axisNames {
+		if n == name {
+			return Axis(a), true
+		}
+	}
+	return 0, false
+}
+
+// Reverse reports whether the axis delivers nodes in reverse document order
+// (ancestor, ancestor-or-self, preceding, preceding-sibling). The parent
+// axis is trivially both.
+func (a Axis) Reverse() bool {
+	switch a {
+	case AxisAncestor, AxisAncestorOrSelf, AxisPreceding, AxisPrecedingSibling, AxisParent:
+		return true
+	}
+	return false
+}
+
+// Principal returns the principal node kind of the axis (XPath 2.3): the
+// attribute axis selects attributes, the namespace axis namespace nodes,
+// every other axis elements.
+func (a Axis) Principal() NodeKind {
+	switch a {
+	case AxisAttribute:
+		return KindAttribute
+	case AxisNamespace:
+		return KindNamespace
+	}
+	return KindElement
+}
+
+// PPD reports whether a location step over this axis potentially produces
+// duplicate nodes when applied to a duplicate-free context (the ppd
+// classification of paper section 4.1). Such steps are followed by a pushed
+// duplicate elimination in the improved translation.
+func (a Axis) PPD() bool {
+	switch a {
+	case AxisFollowing, AxisFollowingSibling, AxisPreceding, AxisPrecedingSibling,
+		AxisParent, AxisAncestor, AxisAncestorOrSelf,
+		AxisDescendant, AxisDescendantOrSelf:
+		return true
+	}
+	return false
+}
+
+// Stepper enumerates the nodes of one axis from a context node, in axis
+// order (document order for forward axes, reverse document order for
+// reverse axes). A Stepper is reusable: call Reset, then Next until it
+// returns false. Steppers do not allocate after the first use except for
+// the namespace axis, which materializes the small in-scope set.
+type Stepper struct {
+	axis Axis
+	doc  Document
+	ctx  NodeID
+	cur  NodeID
+	done bool
+
+	// following/preceding state.
+	anchorAncestors map[NodeID]struct{} // preceding: ancestor set to skip
+	// namespace axis state.
+	nsNodes []NodeID
+	nsIdx   int
+	nsSeen  map[string]struct{}
+}
+
+// NewStepper returns a stepper for the given axis. Reset must be called
+// before the first Next.
+func NewStepper(axis Axis) *Stepper { return &Stepper{axis: axis, done: true} }
+
+// Axis returns the axis this stepper traverses.
+func (s *Stepper) Axis() Axis { return s.axis }
+
+// Reset positions the stepper at the start of the axis for context node
+// (doc, ctx).
+func (s *Stepper) Reset(doc Document, ctx NodeID) {
+	s.doc, s.ctx, s.done = doc, ctx, false
+	switch s.axis {
+	case AxisSelf, AxisAncestorOrSelf, AxisDescendantOrSelf:
+		s.cur = ctx
+	case AxisChild:
+		s.cur = doc.FirstChild(ctx)
+	case AxisParent, AxisAncestor:
+		s.cur = doc.Parent(ctx)
+	case AxisFollowingSibling:
+		s.cur = s.siblingStart(true)
+	case AxisPrecedingSibling:
+		s.cur = s.siblingStart(false)
+	case AxisAttribute:
+		s.cur = doc.FirstAttr(ctx)
+	case AxisDescendant:
+		s.cur = s.descend(ctx)
+	case AxisFollowing:
+		s.cur = s.followingStart()
+	case AxisPreceding:
+		s.initPreceding()
+	case AxisNamespace:
+		s.initNamespace()
+	}
+	if s.axis != AxisNamespace && s.cur == NilNode {
+		s.done = true
+	}
+}
+
+// Next returns the next node on the axis, or false when exhausted.
+func (s *Stepper) Next() (NodeID, bool) {
+	if s.done {
+		return NilNode, false
+	}
+	if s.axis == AxisNamespace {
+		if s.nsIdx >= len(s.nsNodes) {
+			s.done = true
+			return NilNode, false
+		}
+		n := s.nsNodes[s.nsIdx]
+		s.nsIdx++
+		return n, true
+	}
+	n := s.cur
+	s.advance()
+	return n, true
+}
+
+func (s *Stepper) advance() {
+	d := s.doc
+	switch s.axis {
+	case AxisSelf, AxisParent:
+		s.cur = NilNode
+	case AxisChild, AxisFollowingSibling:
+		s.cur = d.NextSibling(s.cur)
+	case AxisPrecedingSibling:
+		s.cur = d.PrevSibling(s.cur)
+	case AxisAncestor, AxisAncestorOrSelf:
+		s.cur = d.Parent(s.cur)
+	case AxisAttribute:
+		s.cur = d.NextAttr(s.cur)
+	case AxisDescendant, AxisDescendantOrSelf:
+		s.cur = s.preorderNextWithin(s.cur, s.ctx)
+	case AxisFollowing:
+		s.cur = s.preorderNext(s.cur)
+	case AxisPreceding:
+		s.cur = s.precedingPrev(s.cur)
+	}
+	if s.cur == NilNode {
+		s.done = true
+	}
+}
+
+// siblingStart returns the first node of the (following|preceding)-sibling
+// axis. Attribute and namespace nodes have no siblings.
+func (s *Stepper) siblingStart(forward bool) NodeID {
+	switch s.doc.Kind(s.ctx) {
+	case KindAttribute, KindNamespace:
+		return NilNode
+	}
+	if forward {
+		return s.doc.NextSibling(s.ctx)
+	}
+	return s.doc.PrevSibling(s.ctx)
+}
+
+// descend returns the first descendant (preorder) of id, or NilNode.
+func (s *Stepper) descend(id NodeID) NodeID { return s.doc.FirstChild(id) }
+
+// preorderNextWithin advances cur in preorder without leaving the subtree
+// rooted at stop.
+func (s *Stepper) preorderNextWithin(cur, stop NodeID) NodeID {
+	d := s.doc
+	if c := d.FirstChild(cur); c != NilNode {
+		return c
+	}
+	for cur != stop && cur != NilNode {
+		if sib := d.NextSibling(cur); sib != NilNode {
+			return sib
+		}
+		cur = d.Parent(cur)
+	}
+	return NilNode
+}
+
+// preorderNext advances cur in document-wide preorder (used by following).
+func (s *Stepper) preorderNext(cur NodeID) NodeID {
+	d := s.doc
+	if c := d.FirstChild(cur); c != NilNode {
+		return c
+	}
+	for cur != NilNode {
+		if sib := d.NextSibling(cur); sib != NilNode {
+			return sib
+		}
+		cur = d.Parent(cur)
+	}
+	return NilNode
+}
+
+// followingStart returns the first node of the following axis: the next
+// node in document order that is not a descendant of the context node. For
+// attribute and namespace nodes, document order places them before the
+// element's children, so the following axis starts at the owner element's
+// first child.
+func (s *Stepper) followingStart() NodeID {
+	d := s.doc
+	cur := s.ctx
+	switch d.Kind(cur) {
+	case KindAttribute, KindNamespace:
+		owner := d.Parent(cur)
+		if owner == NilNode {
+			return NilNode
+		}
+		if c := d.FirstChild(owner); c != NilNode {
+			return c
+		}
+		cur = owner
+	}
+	for cur != NilNode {
+		if sib := d.NextSibling(cur); sib != NilNode {
+			return sib
+		}
+		cur = d.Parent(cur)
+	}
+	return NilNode
+}
+
+// initPreceding prepares the reverse preorder walk for the preceding axis,
+// which excludes ancestors of the context node.
+func (s *Stepper) initPreceding() {
+	d := s.doc
+	anchor := s.ctx
+	switch d.Kind(anchor) {
+	case KindAttribute, KindNamespace:
+		anchor = d.Parent(anchor)
+		if anchor == NilNode {
+			s.done = true
+			return
+		}
+	}
+	if s.anchorAncestors == nil {
+		s.anchorAncestors = make(map[NodeID]struct{}, 8)
+	} else {
+		clear(s.anchorAncestors)
+	}
+	for p := d.Parent(anchor); p != NilNode; p = d.Parent(p) {
+		s.anchorAncestors[p] = struct{}{}
+	}
+	s.cur = s.precedingPrev(anchor)
+	if s.cur == NilNode {
+		s.done = true
+	}
+}
+
+// precedingPrev steps backwards in reverse document order, skipping
+// ancestors of the context node.
+func (s *Stepper) precedingPrev(cur NodeID) NodeID {
+	d := s.doc
+	for {
+		if sib := d.PrevSibling(cur); sib != NilNode {
+			// Deepest last descendant of the previous sibling.
+			n := sib
+			for c := d.LastChild(n); c != NilNode; c = d.LastChild(n) {
+				n = c
+			}
+			return n
+		}
+		cur = d.Parent(cur)
+		if cur == NilNode {
+			return NilNode
+		}
+		if _, skip := s.anchorAncestors[cur]; !skip {
+			// Parent reached by walking up is always an ancestor of the
+			// starting node, but after descending into a previous subtree
+			// the walk-up targets are not ancestors of the *context*.
+			return cur
+		}
+	}
+}
+
+// initNamespace materializes the in-scope namespace set of an element
+// context: the nearest non-shadowed declaration per prefix along
+// ancestor-or-self, plus the implicit xml prefix. See DESIGN.md "Known
+// deviations" for how this differs from per-element namespace node
+// identity.
+func (s *Stepper) initNamespace() {
+	d := s.doc
+	s.nsNodes = s.nsNodes[:0]
+	s.nsIdx = 0
+	if d.Kind(s.ctx) != KindElement {
+		s.done = true
+		return
+	}
+	if s.nsSeen == nil {
+		s.nsSeen = make(map[string]struct{}, 4)
+	} else {
+		clear(s.nsSeen)
+	}
+	for e := s.ctx; e != NilNode; e = d.Parent(e) {
+		if d.Kind(e) != KindElement {
+			break
+		}
+		for ns := d.FirstNSDecl(e); ns != NilNode; ns = d.NextNSDecl(ns) {
+			prefix := d.LocalName(ns)
+			if _, shadowed := s.nsSeen[prefix]; shadowed {
+				continue
+			}
+			s.nsSeen[prefix] = struct{}{}
+			if d.Value(ns) == "" {
+				continue // xmlns="" undeclares the default namespace
+			}
+			s.nsNodes = append(s.nsNodes, ns)
+		}
+	}
+	if _, ok := s.nsSeen["xml"]; !ok {
+		// The xml prefix is implicitly in scope; it has no declaration
+		// record, so we cannot yield a node for it without one in the
+		// document. Builders insert one on the root (see XML parser).
+	}
+	if len(s.nsNodes) == 0 {
+		s.done = true
+	}
+}
+
+// Ancestors collects the ancestor chain of n (excluding n), nearest first.
+func Ancestors(d Document, n NodeID) []NodeID {
+	var out []NodeID
+	for p := d.Parent(n); p != NilNode; p = d.Parent(p) {
+		out = append(out, p)
+	}
+	return out
+}
+
+// IsDescendantOf reports whether n is a (strict) descendant of anc.
+func IsDescendantOf(d Document, n, anc NodeID) bool {
+	for p := d.Parent(n); p != NilNode; p = d.Parent(p) {
+		if p == anc {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,509 @@
+package dom
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// mustParse parses the document or fails the test.
+func mustParse(t *testing.T, s string) *MemDoc {
+	t.Helper()
+	d, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("ParseString(%q): %v", s, err)
+	}
+	return d
+}
+
+// collect runs one axis step from the element reached by the given path of
+// child names and returns a compact rendering of the result nodes.
+func collect(d Document, ctx NodeID, axis Axis) []NodeID {
+	st := NewStepper(axis)
+	st.Reset(d, ctx)
+	var out []NodeID
+	for {
+		n, ok := st.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, n)
+	}
+}
+
+// findElem returns the first element with the given local name, in document
+// order.
+func findElem(d Document, name string) NodeID {
+	for id := NodeID(1); int(id) <= d.NodeCount(); id++ {
+		if d.Kind(id) == KindElement && d.LocalName(id) == name {
+			return id
+		}
+	}
+	return NilNode
+}
+
+func names(d Document, ids []NodeID) string {
+	var parts []string
+	for _, id := range ids {
+		switch d.Kind(id) {
+		case KindElement, KindAttribute, KindProcInstr:
+			parts = append(parts, d.LocalName(id))
+		case KindText:
+			parts = append(parts, "#text")
+		case KindComment:
+			parts = append(parts, "#comment")
+		case KindDocument:
+			parts = append(parts, "#doc")
+		case KindNamespace:
+			parts = append(parts, "#ns:"+d.LocalName(id))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+const sampleDoc = `<a id="1"><b id="2"><d id="4"/><e id="5">txt</e></b><c id="3"><f id="6"><g id="7"/></f></c></a>`
+
+func TestAxes(t *testing.T) {
+	d := mustParse(t, sampleDoc)
+	tests := []struct {
+		ctx  string
+		axis Axis
+		want string
+	}{
+		{"a", AxisChild, "b c"},
+		{"a", AxisDescendant, "b d e #text c f g"},
+		{"a", AxisDescendantOrSelf, "a b d e #text c f g"},
+		{"a", AxisParent, "#doc"},
+		{"g", AxisAncestor, "f c a #doc"},
+		{"g", AxisAncestorOrSelf, "g f c a #doc"},
+		{"b", AxisFollowingSibling, "c"},
+		{"c", AxisPrecedingSibling, "b"},
+		{"b", AxisFollowing, "c f g"},
+		{"e", AxisFollowing, "c f g"},
+		{"f", AxisPreceding, "#text e d b"}, // reverse document order, no ancestors
+		{"g", AxisPreceding, "#text e d b"},
+		{"d", AxisSelf, "d"},
+		{"a", AxisSelf, "a"},
+		{"e", AxisChild, "#text"},
+		{"g", AxisChild, ""},
+		{"g", AxisFollowing, ""},
+		{"b", AxisPreceding, ""},
+		{"a", AxisAncestor, "#doc"},
+		{"a", AxisFollowingSibling, ""},
+		{"a", AxisPrecedingSibling, ""},
+	}
+	for _, tc := range tests {
+		ctx := findElem(d, tc.ctx)
+		if ctx == NilNode {
+			t.Fatalf("element %q not found", tc.ctx)
+		}
+		got := names(d, collect(d, ctx, tc.axis))
+		if got != tc.want {
+			t.Errorf("%s from <%s>: got %q, want %q", tc.axis, tc.ctx, got, tc.want)
+		}
+	}
+}
+
+func TestAttributeAxis(t *testing.T) {
+	d := mustParse(t, `<r a="1" b="2" c="3"/>`)
+	r := findElem(d, "r")
+	got := names(d, collect(d, r, AxisAttribute))
+	if got != "a b c" {
+		t.Errorf("attribute axis: got %q, want %q", got, "a b c")
+	}
+	// Attributes have no children, siblings, or following-sibling axis.
+	attr := d.FirstAttr(r)
+	if got := names(d, collect(d, attr, AxisFollowingSibling)); got != "" {
+		t.Errorf("following-sibling of attribute: got %q", got)
+	}
+	if got := names(d, collect(d, attr, AxisChild)); got != "" {
+		t.Errorf("child of attribute: got %q", got)
+	}
+	// Parent of an attribute is its element.
+	if got := names(d, collect(d, attr, AxisParent)); got != "r" {
+		t.Errorf("parent of attribute: got %q", got)
+	}
+	// Following axis of an attribute starts at the element's content.
+	d2 := mustParse(t, `<r a="1"><x/><y/></r>`)
+	a2 := d2.FirstAttr(findElem(d2, "r"))
+	if got := names(d2, collect(d2, a2, AxisFollowing)); got != "x y" {
+		t.Errorf("following of attribute: got %q, want %q", got, "x y")
+	}
+}
+
+func TestAxisOrderIsDocumentOrder(t *testing.T) {
+	d := mustParse(t, sampleDoc)
+	for _, axis := range []Axis{AxisChild, AxisDescendant, AxisDescendantOrSelf, AxisFollowing, AxisFollowingSibling} {
+		for id := NodeID(1); int(id) <= d.NodeCount(); id++ {
+			ids := collect(d, id, axis)
+			for i := 1; i < len(ids); i++ {
+				if ids[i-1] >= ids[i] {
+					t.Errorf("%s from #%d not in document order: %v", axis, id, ids)
+				}
+			}
+		}
+	}
+	for _, axis := range []Axis{AxisAncestor, AxisAncestorOrSelf, AxisPreceding, AxisPrecedingSibling} {
+		for id := NodeID(1); int(id) <= d.NodeCount(); id++ {
+			ids := collect(d, id, axis)
+			for i := 1; i < len(ids); i++ {
+				if ids[i-1] <= ids[i] {
+					t.Errorf("%s from #%d not in reverse document order: %v", axis, id, ids)
+				}
+			}
+		}
+	}
+}
+
+// TestFollowingPrecedingPartition checks the spec property that for any node
+// n, {ancestors, descendants, following, preceding, self} partition the
+// element/text/comment/PI nodes of the document.
+func TestFollowingPrecedingPartition(t *testing.T) {
+	d := mustParse(t, `<a><b><c/><d>t</d></b><e/><f><g><h/></g></f></a>`)
+	total := 0
+	for id := NodeID(1); int(id) <= d.NodeCount(); id++ {
+		k := d.Kind(id)
+		if k != KindAttribute && k != KindNamespace && k != KindDocument {
+			total++
+		}
+	}
+	for id := NodeID(1); int(id) <= d.NodeCount(); id++ {
+		k := d.Kind(id)
+		if k == KindAttribute || k == KindNamespace || k == KindDocument {
+			continue
+		}
+		anc := len(collect(d, id, AxisAncestor)) - 1 // minus document node
+		desc := len(collect(d, id, AxisDescendant))
+		fol := len(collect(d, id, AxisFollowing))
+		pre := len(collect(d, id, AxisPreceding))
+		if got := anc + desc + fol + pre + 1; got != total {
+			t.Errorf("node #%d: partition size %d != %d (anc=%d desc=%d fol=%d pre=%d)",
+				id, got, total, anc, desc, fol, pre)
+		}
+	}
+}
+
+func TestNamespaceAxis(t *testing.T) {
+	d := mustParse(t, `<a xmlns:x="urn:x"><b xmlns:y="urn:y"><c xmlns:x="urn:x2"/></b></a>`)
+	c := findElem(d, "c")
+	st := NewStepper(AxisNamespace)
+	st.Reset(d, c)
+	got := map[string]string{}
+	for {
+		n, ok := st.Next()
+		if !ok {
+			break
+		}
+		got[d.LocalName(n)] = d.Value(n)
+	}
+	want := map[string]string{"x": "urn:x2", "y": "urn:y", "xml": XMLNamespaceURI}
+	if len(got) != len(want) {
+		t.Fatalf("namespace axis on <c>: got %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("prefix %q: got %q, want %q", k, got[k], v)
+		}
+	}
+	// Non-element context yields nothing.
+	txtDoc := mustParse(t, `<a xmlns:x="urn:x">hello</a>`)
+	txt := txtDoc.FirstChild(findElem(txtDoc, "a"))
+	st.Reset(txtDoc, txt)
+	if _, ok := st.Next(); ok {
+		t.Error("namespace axis on text node should be empty")
+	}
+}
+
+func TestDefaultNamespace(t *testing.T) {
+	d := mustParse(t, `<a xmlns="urn:d"><b/><c xmlns=""><e/></c></a>`)
+	for name, wantURI := range map[string]string{"a": "urn:d", "b": "urn:d", "c": "", "e": ""} {
+		id := findElem(d, name)
+		if got := d.NamespaceURI(id); got != wantURI {
+			t.Errorf("element %s: namespace %q, want %q", name, got, wantURI)
+		}
+	}
+	// Default namespace does not apply to attributes.
+	d2 := mustParse(t, `<a xmlns="urn:d" k="v"/>`)
+	attr := d2.FirstAttr(findElem(d2, "a"))
+	if got := d2.NamespaceURI(attr); got != "" {
+		t.Errorf("attribute namespace: got %q, want \"\"", got)
+	}
+}
+
+func TestStringValue(t *testing.T) {
+	d := mustParse(t, `<a>one<b>two<c/>three</b><!--x-->four<?pi data?></a>`)
+	a := findElem(d, "a")
+	if got := d.StringValue(a); got != "onetwothreefour" {
+		t.Errorf("element string-value: %q", got)
+	}
+	if got := d.StringValue(d.Root()); got != "onetwothreefour" {
+		t.Errorf("document string-value: %q", got)
+	}
+	b := findElem(d, "b")
+	if got := d.StringValue(b); got != "twothree" {
+		t.Errorf("nested string-value: %q", got)
+	}
+	d2 := mustParse(t, `<a k="attr value">t</a>`)
+	if got := d2.StringValue(d2.FirstAttr(findElem(d2, "a"))); got != "attr value" {
+		t.Errorf("attribute string-value: %q", got)
+	}
+}
+
+func TestNodeTests(t *testing.T) {
+	d := mustParse(t, `<a xmlns:p="urn:p"><p:b/><b/>text<!--c--><?tgt d?></a>`)
+	a := findElem(d, "a")
+	type tc struct {
+		test NodeTest
+		want string
+	}
+	for _, c := range []tc{
+		{AnyNode, "b b #text #comment tgt"},
+		{NodeTest{Kind: TestAnyName}, "b b"},
+		{NodeTest{Kind: TestName, Local: "b"}, "b"},               // unprefixed: null namespace
+		{NodeTest{Kind: TestName, URI: "urn:p", Local: "b"}, "b"}, // resolved p:b
+		{NodeTest{Kind: TestNSName, URI: "urn:p"}, "b"},           // p:*
+		{NodeTest{Kind: TestText}, "#text"},
+		{NodeTest{Kind: TestComment}, "#comment"},
+		{NodeTest{Kind: TestPI}, "tgt"},
+		{NodeTest{Kind: TestPI, Target: "tgt"}, "tgt"},
+		{NodeTest{Kind: TestPI, Target: "other"}, ""},
+	} {
+		st := NewStepper(AxisChild)
+		st.Reset(d, a)
+		var got []NodeID
+		for {
+			n, ok := st.Next()
+			if !ok {
+				break
+			}
+			if c.test.Matches(d, n, AxisChild.Principal()) {
+				got = append(got, n)
+			}
+		}
+		if g := names(d, got); g != c.want {
+			t.Errorf("test %v: got %q, want %q", c.test, g, c.want)
+		}
+	}
+}
+
+func TestCompareOrder(t *testing.T) {
+	d := mustParse(t, sampleDoc)
+	a, b := findElem(d, "b"), findElem(d, "c")
+	na, nb := Node{d, a}, Node{d, b}
+	if CompareOrder(na, nb) != -1 || CompareOrder(nb, na) != 1 || CompareOrder(na, na) != 0 {
+		t.Error("CompareOrder within document broken")
+	}
+	d2 := mustParse(t, sampleDoc)
+	n2 := Node{d2, findElem(d2, "b")}
+	if CompareOrder(na, n2) == 0 {
+		t.Error("CompareOrder must distinguish documents")
+	}
+	if CompareOrder(na, n2) == CompareOrder(n2, na) {
+		t.Error("cross-document order must be antisymmetric")
+	}
+	// Attributes come after their element, before children.
+	d3 := mustParse(t, `<r a="1"><c/></r>`)
+	r := findElem(d3, "r")
+	attr, child := d3.FirstAttr(r), d3.FirstChild(r)
+	if !(r < attr && attr < child) {
+		t.Errorf("document order r=%d attr=%d child=%d", r, attr, child)
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`<a>`,
+		`<a></b>`,
+		`<a><b></a></b>`,
+		`<a/><b/>`,
+		`<a a="1" a="2"/>`,
+		`<a a=1/>`,
+		`<a>&unknown;</a>`,
+		`<a>&#xZZ;</a>`,
+		`<p:a/>`,
+		`<a p:k="v"/>`,
+		`<a><!-- -- --></a>`,
+		`text<a/>`,
+		`<a/>text`,
+		`<a b="<"/>`,
+	}
+	for _, s := range bad {
+		if _, err := ParseString(s); err == nil {
+			t.Errorf("ParseString(%q): expected error", s)
+		}
+	}
+}
+
+func TestParserFeatures(t *testing.T) {
+	d := mustParse(t, "<?xml version=\"1.0\"?>\n<!DOCTYPE a [<!ELEMENT a ANY>]>\n<a>&amp;&lt;&gt;&quot;&apos;&#65;&#x42;<![CDATA[<raw>&amp;]]></a>")
+	a := findElem(d, "a")
+	want := `&<>"'AB<raw>&amp;`
+	if got := d.StringValue(a); got != want {
+		t.Errorf("entities/CDATA: got %q, want %q", got, want)
+	}
+}
+
+func TestTextMerging(t *testing.T) {
+	d := mustParse(t, `<a>x<![CDATA[y]]>z</a>`)
+	a := findElem(d, "a")
+	c := d.FirstChild(a)
+	if d.Kind(c) != KindText || d.Value(c) != "xyz" {
+		t.Errorf("adjacent text not merged: %q", d.Value(c))
+	}
+	if d.NextSibling(c) != NilNode {
+		t.Error("expected a single merged text node")
+	}
+}
+
+func TestAttributeValueNormalization(t *testing.T) {
+	d := mustParse(t, "<a k=\"one\ttwo\nthree\"/>")
+	attr := d.FirstAttr(findElem(d, "a"))
+	if got := d.Value(attr); got != "one two three" {
+		t.Errorf("attribute normalization: %q", got)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	docs := []string{
+		sampleDoc,
+		`<a xmlns:p="urn:p" p:k="v"><p:b>x</p:b><!--c--><?t d?></a>`,
+		`<a>&amp;text&lt;</a>`,
+		`<a k="a&quot;b"/>`,
+		`<a xmlns="urn:d"><b/></a>`,
+	}
+	for _, s := range docs {
+		d1 := mustParse(t, s)
+		out := SerializeString(d1)
+		d2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", out, err)
+		}
+		if out2 := SerializeString(d2); out2 != out {
+			t.Errorf("round trip not stable:\n first=%q\nsecond=%q", out, out2)
+		}
+	}
+}
+
+func TestBuilderDirect(t *testing.T) {
+	b := NewBuilder()
+	b.StartElement("", "root", "")
+	b.Attr("", "id", "", "0")
+	b.StartElement("", "kid", "")
+	b.Text("hi")
+	b.EndElement()
+	b.Comment("note")
+	b.EndElement()
+	d := b.Doc()
+	if d.NodeCount() != 6 { // doc, root, @id, kid, text, comment
+		t.Errorf("node count = %d, want 6", d.NodeCount())
+	}
+	if got := d.StringValue(d.Root()); got != "hi" {
+		t.Errorf("string-value = %q", got)
+	}
+}
+
+func TestAncestorsHelpers(t *testing.T) {
+	d := mustParse(t, sampleDoc)
+	g := findElem(d, "g")
+	anc := Ancestors(d, g)
+	if names(d, anc) != "f c a #doc" {
+		t.Errorf("Ancestors: %q", names(d, anc))
+	}
+	if !IsDescendantOf(d, g, findElem(d, "a")) {
+		t.Error("g should be descendant of a")
+	}
+	if IsDescendantOf(d, findElem(d, "a"), g) {
+		t.Error("a is not descendant of g")
+	}
+}
+
+// TestSerializeParseProperty: random built documents survive
+// serialize→parse with identical structure and values.
+func TestSerializeParseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	values := []string{"", "plain", "a<b&c>", `quo"te`, "  spaced  ", "tab\tnl\n", "ümlaut€"}
+	names := []string{"a", "b", "long-name", "x_y", "n.1"}
+	for iter := 0; iter < 40; iter++ {
+		b := NewBuilder()
+		var build func(depth int)
+		build = func(depth int) {
+			n := rng.Intn(5)
+			for i := 0; i < n; i++ {
+				switch rng.Intn(5) {
+				case 0:
+					if v := values[rng.Intn(len(values))]; v != "" {
+						b.Text(v)
+					}
+				case 1:
+					b.Comment("c" + names[rng.Intn(len(names))])
+				case 2:
+					b.ProcInstr(names[rng.Intn(len(names))], "data")
+				default:
+					b.StartElement("", names[rng.Intn(len(names))], "")
+					if rng.Intn(2) == 0 {
+						b.Attr("", names[rng.Intn(len(names))], "", values[rng.Intn(len(values))])
+					}
+					if depth < 4 {
+						build(depth + 1)
+					}
+					b.EndElement()
+				}
+			}
+		}
+		b.StartElement("", "root", "")
+		build(0)
+		b.EndElement()
+		orig := b.Doc()
+
+		text := SerializeString(orig)
+		parsed, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("iter %d: re-parse failed: %v\n%s", iter, err, text)
+		}
+		// Structural equality via a canonical walk. Note: attribute value
+		// whitespace normalizes tabs/newlines to spaces on re-parse, per
+		// XML; the serializer escapes them? It does not, so compare with
+		// normalization applied to expectations.
+		if got, want := canonical(parsed), canonical(orig); got != want {
+			t.Fatalf("iter %d round trip mismatch:\n got %q\nwant %q\nxml %s", iter, got, want, text)
+		}
+	}
+}
+
+// canonical renders structure+values for comparison, normalizing attribute
+// whitespace the way a re-parse would.
+func canonical(d Document) string {
+	var sb strings.Builder
+	var walk func(id NodeID)
+	walk = func(id NodeID) {
+		switch d.Kind(id) {
+		case KindElement:
+			sb.WriteString("<" + d.LocalName(id))
+			for a := d.FirstAttr(id); a != NilNode; a = d.NextAttr(a) {
+				v := strings.Map(func(r rune) rune {
+					if r == '\t' || r == '\n' || r == '\r' {
+						return ' '
+					}
+					return r
+				}, d.Value(a))
+				sb.WriteString(" " + d.LocalName(a) + "=" + v)
+			}
+			sb.WriteString(">")
+		case KindText:
+			sb.WriteString("T(" + d.Value(id) + ")")
+		case KindComment:
+			sb.WriteString("C(" + d.Value(id) + ")")
+		case KindProcInstr:
+			sb.WriteString("P(" + d.LocalName(id) + ":" + d.Value(id) + ")")
+		}
+		for c := d.FirstChild(id); c != NilNode; c = d.NextSibling(c) {
+			walk(c)
+		}
+		if d.Kind(id) == KindElement {
+			sb.WriteString("</>")
+		}
+	}
+	walk(d.Root())
+	return sb.String()
+}

@@ -1,0 +1,32 @@
+package dom
+
+import "testing"
+
+// FuzzParseXML is a native fuzz target for the XML parser: arbitrary bytes
+// must either parse into a document that survives a serialize/re-parse
+// round trip, or fail with a ParseError — never panic.
+func FuzzParseXML(f *testing.F) {
+	for _, seed := range []string{
+		"<a/>", "<a><b>text</b></a>", `<a k="v"/>`,
+		`<a xmlns:p="u"><p:b p:k="v"/></a>`, "<a>&amp;&#65;</a>",
+		"<a><![CDATA[x]]></a>", "<!--c--><a/>", "<?xml version=\"1.0\"?><a/>",
+		"<a", "<a></b>", "<a>&bad;</a>", "<a xmlns=\"d\"><b/></a>",
+		"<!DOCTYPE a [<!ELEMENT a ANY>]><a/>", "<a><?pi data?></a>",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ParseBytes(data)
+		if err != nil {
+			return
+		}
+		out := SerializeString(d)
+		d2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("serialized form does not re-parse: %v\ninput: %q\noutput: %q", err, data, out)
+		}
+		if out2 := SerializeString(d2); out2 != out {
+			t.Fatalf("serialization unstable:\nfirst:  %q\nsecond: %q", out, out2)
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package dom
+
+import "fmt"
+
+// XMLNamespaceURI is the namespace bound to the implicit xml prefix.
+const XMLNamespaceURI = "http://www.w3.org/XML/1998/namespace"
+
+// TestKind discriminates the forms of an XPath node test.
+type TestKind uint8
+
+// Node test forms.
+const (
+	// TestName matches nodes of the principal kind with a given expanded
+	// name (URI already resolved from the expression context).
+	TestName TestKind = iota
+	// TestAnyName is "*": any node of the principal kind.
+	TestAnyName
+	// TestNSName is "prefix:*": any node of the principal kind in a
+	// namespace (URI already resolved).
+	TestNSName
+	// TestAnyNode is "node()": any node at all.
+	TestAnyNode
+	// TestText is "text()".
+	TestText
+	// TestComment is "comment()".
+	TestComment
+	// TestPI is "processing-instruction()" with an optional target literal.
+	TestPI
+)
+
+// NodeTest is a compiled node test: the prefix of a name test has already
+// been resolved to a namespace URI using the static context.
+type NodeTest struct {
+	Kind   TestKind
+	URI    string // TestName, TestNSName
+	Local  string // TestName
+	Target string // TestPI: required target, or "" for any
+}
+
+// AnyNode is the node() test.
+var AnyNode = NodeTest{Kind: TestAnyNode}
+
+// NameTest builds a TestName node test.
+func NameTest(uri, local string) NodeTest { return NodeTest{Kind: TestName, URI: uri, Local: local} }
+
+// Matches reports whether the node satisfies the test, given the principal
+// node kind of the axis being traversed.
+func (t NodeTest) Matches(d Document, id NodeID, principal NodeKind) bool {
+	kind := d.Kind(id)
+	switch t.Kind {
+	case TestAnyNode:
+		return true
+	case TestText:
+		return kind == KindText
+	case TestComment:
+		return kind == KindComment
+	case TestPI:
+		return kind == KindProcInstr && (t.Target == "" || d.LocalName(id) == t.Target)
+	case TestAnyName:
+		return kind == principal
+	case TestNSName:
+		return kind == principal && nodeURI(d, id, principal) == t.URI
+	case TestName:
+		if kind != principal {
+			return false
+		}
+		if principal == KindNamespace {
+			// A name test on the namespace axis matches the prefix the
+			// namespace node binds; namespace nodes have no namespace.
+			return t.URI == "" && d.LocalName(id) == t.Local
+		}
+		return d.LocalName(id) == t.Local && nodeURI(d, id, principal) == t.URI
+	}
+	return false
+}
+
+func nodeURI(d Document, id NodeID, principal NodeKind) string {
+	if principal == KindNamespace {
+		return ""
+	}
+	return d.NamespaceURI(id)
+}
+
+// String renders the node test in XPath syntax (with resolved URIs shown in
+// Clark notation for diagnostics).
+func (t NodeTest) String() string {
+	switch t.Kind {
+	case TestAnyNode:
+		return "node()"
+	case TestText:
+		return "text()"
+	case TestComment:
+		return "comment()"
+	case TestPI:
+		if t.Target != "" {
+			return fmt.Sprintf("processing-instruction(%q)", t.Target)
+		}
+		return "processing-instruction()"
+	case TestAnyName:
+		return "*"
+	case TestNSName:
+		return fmt.Sprintf("{%s}*", t.URI)
+	case TestName:
+		if t.URI != "" {
+			return fmt.Sprintf("{%s}%s", t.URI, t.Local)
+		}
+		return t.Local
+	}
+	return "node-test?"
+}

@@ -1,0 +1,118 @@
+package dom
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// Serialize writes the document as XML text. The output reproduces the node
+// structure exactly (no pretty-printing); parsing it back yields an
+// equivalent document, which the tests verify.
+func Serialize(w io.Writer, d Document) error {
+	bw := bufio.NewWriter(w)
+	if err := serializeChildren(bw, d, d.Root()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SerializeString renders the document as a string.
+func SerializeString(d Document) string {
+	var sb strings.Builder
+	_ = Serialize(&sb, d)
+	return sb.String()
+}
+
+func serializeChildren(w *bufio.Writer, d Document, id NodeID) error {
+	for c := d.FirstChild(id); c != NilNode; c = d.NextSibling(c) {
+		if err := serializeNode(w, d, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func qualified(d Document, id NodeID) string {
+	if p := d.Prefix(id); p != "" {
+		return p + ":" + d.LocalName(id)
+	}
+	return d.LocalName(id)
+}
+
+func serializeNode(w *bufio.Writer, d Document, id NodeID) error {
+	switch d.Kind(id) {
+	case KindElement:
+		name := qualified(d, id)
+		w.WriteByte('<')
+		w.WriteString(name)
+		for ns := d.FirstNSDecl(id); ns != NilNode; ns = d.NextNSDecl(ns) {
+			prefix := d.LocalName(ns)
+			if prefix == "xml" {
+				continue // implicit, materialized by the parser
+			}
+			w.WriteString(" xmlns")
+			if prefix != "" {
+				w.WriteByte(':')
+				w.WriteString(prefix)
+			}
+			w.WriteString(`="`)
+			writeEscaped(w, d.Value(ns), true)
+			w.WriteByte('"')
+		}
+		for a := d.FirstAttr(id); a != NilNode; a = d.NextAttr(a) {
+			w.WriteByte(' ')
+			w.WriteString(qualified(d, a))
+			w.WriteString(`="`)
+			writeEscaped(w, d.Value(a), true)
+			w.WriteByte('"')
+		}
+		if d.FirstChild(id) == NilNode {
+			w.WriteString("/>")
+			return nil
+		}
+		w.WriteByte('>')
+		if err := serializeChildren(w, d, id); err != nil {
+			return err
+		}
+		w.WriteString("</")
+		w.WriteString(name)
+		w.WriteByte('>')
+	case KindText:
+		writeEscaped(w, d.Value(id), false)
+	case KindComment:
+		w.WriteString("<!--")
+		w.WriteString(d.Value(id))
+		w.WriteString("-->")
+	case KindProcInstr:
+		w.WriteString("<?")
+		w.WriteString(d.LocalName(id))
+		if v := d.Value(id); v != "" {
+			w.WriteByte(' ')
+			w.WriteString(v)
+		}
+		w.WriteString("?>")
+	}
+	return nil
+}
+
+func writeEscaped(w *bufio.Writer, s string, inAttr bool) {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '&':
+			w.WriteString("&amp;")
+		case '<':
+			w.WriteString("&lt;")
+		case '>':
+			w.WriteString("&gt;")
+		case '"':
+			if inAttr {
+				w.WriteString("&quot;")
+			} else {
+				w.WriteByte(c)
+			}
+		default:
+			w.WriteByte(c)
+		}
+	}
+}

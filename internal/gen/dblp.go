@@ -1,0 +1,219 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"natix/internal/dom"
+)
+
+// DBLPParams configure the synthetic DBLP document. The real evaluation
+// used the 216 MB DBLP dump [16]; this generator produces a document with
+// the same element vocabulary and the value distributions the Fig. 10
+// queries select on, at a configurable scale.
+type DBLPParams struct {
+	// Publications is the number of publication elements.
+	Publications int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Publication element names with rough DBLP proportions.
+var pubKinds = []struct {
+	name   string
+	weight int
+}{
+	{"article", 30},
+	{"inproceedings", 50},
+	{"proceedings", 4},
+	{"incollection", 6},
+	{"book", 3},
+	{"phdthesis", 3},
+	{"mastersthesis", 2},
+	{"www", 2},
+}
+
+// authorPool holds author names; it includes "Guido Moerkotte" because the
+// Fig. 10 queries select on that value.
+var authorPool = []string{
+	"Guido Moerkotte", "Sven Helmer", "Carl-Christian Kanne",
+	"Matthias Brantner", "Donald Kossmann", "Daniela Florescu",
+	"Georg Gottlob", "Christoph Koch", "Reinhard Pichler",
+	"Goetz Graefe", "Jim Gray", "Michael Stonebraker",
+	"Alfons Kemper", "Thomas Neumann", "Peter Lockemann",
+	"David DeWitt", "Jennifer Widom", "Serge Abiteboul",
+	"Dan Suciu", "Victor Vianu", "Moshe Vardi", "Jeffrey Ullman",
+	"Hector Garcia-Molina", "Rakesh Agrawal", "Ramakrishnan Srikant",
+	"Michael Ley", "Gerhard Weikum", "Theo Haerder", "Andreas Reuter",
+	"Patricia Selinger", "Morton Astrahan", "Raymond Lorie",
+}
+
+var titleWords = []string{
+	"Efficient", "Scalable", "Optimal", "Adaptive", "Algebraic",
+	"Processing", "Evaluation", "Optimization", "Indexing", "Queries",
+	"XML", "XPath", "Databases", "Storage", "Transactions", "Joins",
+	"Streams", "Views", "Recovery", "Concurrency",
+}
+
+var journals = []string{
+	"VLDB J.", "ACM TODS", "IEEE TKDE", "Inf. Syst.", "SIGMOD Record",
+}
+
+var conferences = []string{
+	"SIGMOD Conference", "VLDB", "ICDE", "EDBT", "PODS", "WISE", "ER",
+}
+
+// PlantedKey is a publication key guaranteed to exist in every generated
+// document; the Fig. 10 exact-key query selects it.
+const PlantedKey = "conf/er/LockemannM91"
+
+// DBLP generates a synthetic DBLP-shaped document:
+//
+//	<dblp>
+//	  <article key="..." mdate="...">
+//	    <author>...</author>+ <title>...</title> <year>...</year>
+//	    <journal>...</journal> <pages>...</pages>
+//	  </article>
+//	  <inproceedings key="...">
+//	    ... <booktitle>...</booktitle> ...
+//	  </inproceedings>
+//	  ...
+//	</dblp>
+func DBLP(p DBLPParams) *dom.MemDoc {
+	if p.Publications < 1 {
+		p.Publications = 1
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	b := dom.NewBuilder()
+	b.StartElement("", "dblp", "")
+
+	totalWeight := 0
+	for _, k := range pubKinds {
+		totalWeight += k.weight
+	}
+
+	planted := rng.Intn(p.Publications)
+	for i := 0; i < p.Publications; i++ {
+		kind := pickKind(rng, totalWeight)
+		year := 1970 + rng.Intn(35)
+		nAuthors := 1 + rng.Intn(5)
+		first := authorPool[rng.Intn(len(authorPool))]
+
+		key := fmt.Sprintf("%s/%s/%s%02d-%d",
+			keyPrefix(kind), keyVenue(rng, kind), surname(first), year%100, i)
+		if i == planted {
+			kind = "inproceedings"
+			key = PlantedKey
+			year = 1991
+			first = "Peter Lockemann"
+			nAuthors = 2
+		}
+
+		b.StartElement("", kind, "")
+		b.Attr("", "key", "", key)
+		b.Attr("", "mdate", "", fmt.Sprintf("%04d-%02d-%02d", 2000+rng.Intn(5), 1+rng.Intn(12), 1+rng.Intn(28)))
+
+		authors := []string{first}
+		for j := 1; j < nAuthors; j++ {
+			authors = append(authors, authorPool[rng.Intn(len(authorPool))])
+		}
+		if i == planted {
+			authors = []string{"Peter Lockemann", "Guido Moerkotte"}
+		}
+		for _, a := range authors {
+			b.StartElement("", "author", "")
+			b.Text(a)
+			b.EndElement()
+		}
+
+		b.StartElement("", "title", "")
+		b.Text(makeTitle(rng))
+		b.EndElement()
+
+		b.StartElement("", "year", "")
+		b.Text(fmt.Sprintf("%d", year))
+		b.EndElement()
+
+		switch kind {
+		case "article":
+			b.StartElement("", "journal", "")
+			b.Text(journals[rng.Intn(len(journals))])
+			b.EndElement()
+			b.StartElement("", "volume", "")
+			b.Text(fmt.Sprintf("%d", 1+rng.Intn(40)))
+			b.EndElement()
+		case "inproceedings", "incollection":
+			b.StartElement("", "booktitle", "")
+			b.Text(conferences[rng.Intn(len(conferences))])
+			b.EndElement()
+		case "book", "proceedings":
+			b.StartElement("", "publisher", "")
+			b.Text("Springer")
+			b.EndElement()
+		case "www":
+			b.StartElement("", "url", "")
+			b.Text(fmt.Sprintf("http://example.org/%d", i))
+			b.EndElement()
+		}
+		start := 1 + rng.Intn(400)
+		b.StartElement("", "pages", "")
+		b.Text(fmt.Sprintf("%d-%d", start, start+rng.Intn(30)))
+		b.EndElement()
+
+		b.EndElement()
+	}
+	b.EndElement()
+	return b.Doc()
+}
+
+func pickKind(rng *rand.Rand, totalWeight int) string {
+	r := rng.Intn(totalWeight)
+	for _, k := range pubKinds {
+		if r < k.weight {
+			return k.name
+		}
+		r -= k.weight
+	}
+	return pubKinds[0].name
+}
+
+func keyPrefix(kind string) string {
+	switch kind {
+	case "article":
+		return "journals"
+	case "inproceedings", "proceedings", "incollection":
+		return "conf"
+	case "book":
+		return "books"
+	default:
+		return "misc"
+	}
+}
+
+func keyVenue(rng *rand.Rand, kind string) string {
+	if kind == "article" {
+		return []string{"vldb", "tods", "tkde", "is", "record"}[rng.Intn(5)]
+	}
+	return []string{"sigmod", "vldb", "icde", "edbt", "pods", "wise", "er"}[rng.Intn(7)]
+}
+
+func surname(full string) string {
+	for i := len(full) - 1; i >= 0; i-- {
+		if full[i] == ' ' {
+			return full[i+1:]
+		}
+	}
+	return full
+}
+
+func makeTitle(rng *rand.Rand) string {
+	n := 3 + rng.Intn(5)
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += titleWords[rng.Intn(len(titleWords))]
+	}
+	return out
+}

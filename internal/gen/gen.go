@@ -1,0 +1,107 @@
+// Package gen builds the benchmark documents of the paper's evaluation
+// (section 6): the breadth-first generated documents of section 6.2.1 and a
+// synthetic DBLP-shaped document standing in for the DBLP dump of section
+// 6.2.2 (see DESIGN.md, substitutions).
+package gen
+
+import (
+	"fmt"
+
+	"natix/internal/dom"
+)
+
+// Params describe one generated document (section 6.2.1): a breadth-first
+// tree filled level by level with the given fanout until Elements elements
+// or MaxDepth levels below the root are reached. The root element is named
+// xdoc and every element carries a consecutively numbered id attribute.
+type Params struct {
+	// Elements is the element budget, including the root.
+	Elements int
+	// Fanout is the number of children per element.
+	Fanout int
+	// MaxDepth is the maximum number of element levels below the root;
+	// zero means unbounded (the element budget terminates generation).
+	MaxDepth int
+}
+
+// Generate builds the document described by p.
+func Generate(p Params) *dom.MemDoc {
+	if p.Elements < 1 {
+		p.Elements = 1
+	}
+	if p.Fanout < 1 {
+		p.Fanout = 1
+	}
+	b := dom.NewBuilder()
+
+	// The breadth-first fill cannot use the builder's strictly nested
+	// Start/End protocol level by level, so generate the tree shape first.
+	type node struct {
+		depth    int
+		children []int
+	}
+	nodes := []node{{depth: 0}}
+	queue := []int{0}
+	for len(queue) > 0 && len(nodes) < p.Elements {
+		cur := queue[0]
+		queue = queue[1:]
+		if p.MaxDepth > 0 && nodes[cur].depth >= p.MaxDepth {
+			continue
+		}
+		for i := 0; i < p.Fanout && len(nodes) < p.Elements; i++ {
+			id := len(nodes)
+			nodes = append(nodes, node{depth: nodes[cur].depth + 1})
+			nodes[cur].children = append(nodes[cur].children, id)
+			queue = append(queue, id)
+		}
+	}
+
+	var emit func(idx int)
+	emit = func(idx int) {
+		name := "e"
+		if idx == 0 {
+			name = "xdoc"
+		}
+		b.StartElement("", name, "")
+		b.Attr("", "id", "", fmt.Sprintf("%d", idx))
+		for _, c := range nodes[idx].children {
+			emit(c)
+		}
+		b.EndElement()
+	}
+	emit(0)
+	return b.Doc()
+}
+
+// CountElements counts element nodes of a document (test helper and
+// harness reporting).
+func CountElements(d dom.Document) int {
+	n := 0
+	for id := dom.NodeID(1); int(id) <= d.NodeCount(); id++ {
+		if d.Kind(id) == dom.KindElement {
+			n++
+		}
+	}
+	return n
+}
+
+// Depth returns the maximum element depth below the root element.
+func Depth(d dom.Document) int {
+	max := 0
+	var walk func(id dom.NodeID, depth int)
+	walk = func(id dom.NodeID, depth int) {
+		if depth > max {
+			max = depth
+		}
+		for c := d.FirstChild(id); c != dom.NilNode; c = d.NextSibling(c) {
+			if d.Kind(c) == dom.KindElement {
+				walk(c, depth+1)
+			}
+		}
+	}
+	root := d.FirstChild(d.Root())
+	if root != dom.NilNode {
+		walk(root, 0)
+	}
+	return max
+}

@@ -1,0 +1,161 @@
+package gen
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"natix/internal/dom"
+)
+
+func TestGenerateCounts(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 100, 2000} {
+		d := Generate(Params{Elements: n, Fanout: 6})
+		if got := CountElements(d); got != n {
+			t.Errorf("Elements=%d: generated %d", n, got)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	d := Generate(Params{Elements: 43, Fanout: 6}) // 1 + 6 + 36 = 43
+	root := d.FirstChild(d.Root())
+	if d.LocalName(root) != "xdoc" {
+		t.Errorf("root name %q", d.LocalName(root))
+	}
+	// Level 1 is full.
+	n := 0
+	for c := d.FirstChild(root); c != dom.NilNode; c = d.NextSibling(c) {
+		n++
+		if d.LocalName(c) != "e" {
+			t.Errorf("child name %q", d.LocalName(c))
+		}
+	}
+	if n != 6 {
+		t.Errorf("root fanout %d", n)
+	}
+	if got := Depth(d); got != 2 {
+		t.Errorf("depth %d, want 2", got)
+	}
+}
+
+func TestGenerateIDsConsecutive(t *testing.T) {
+	d := Generate(Params{Elements: 50, Fanout: 3})
+	seen := map[int]bool{}
+	for id := dom.NodeID(1); int(id) <= d.NodeCount(); id++ {
+		if d.Kind(id) != dom.KindElement {
+			continue
+		}
+		a := d.FirstAttr(id)
+		if a == dom.NilNode || d.LocalName(a) != "id" {
+			t.Fatalf("element #%d lacks id attribute", id)
+		}
+		v, err := strconv.Atoi(d.Value(a))
+		if err != nil || seen[v] {
+			t.Fatalf("bad or duplicate id %q", d.Value(a))
+		}
+		seen[v] = true
+	}
+	for i := 0; i < 50; i++ {
+		if !seen[i] {
+			t.Errorf("missing id %d", i)
+		}
+	}
+}
+
+func TestGenerateDepthCap(t *testing.T) {
+	// Fanout 2, depth 3: at most 1+2+4+8 = 15 elements.
+	d := Generate(Params{Elements: 1000, Fanout: 2, MaxDepth: 3})
+	if got := CountElements(d); got != 15 {
+		t.Errorf("capped generation produced %d elements, want 15", got)
+	}
+	if got := Depth(d); got != 3 {
+		t.Errorf("depth %d, want 3", got)
+	}
+}
+
+// Property: breadth-first filling means depth grows logarithmically — the
+// depth of a doc with n elements and fanout f is minimal.
+func TestGenerateBreadthFirstProperty(t *testing.T) {
+	f := func(n uint8, fan uint8) bool {
+		elements := int(n)%500 + 1
+		fanout := int(fan)%8 + 2
+		d := Generate(Params{Elements: elements, Fanout: fanout})
+		if CountElements(d) != elements {
+			return false
+		}
+		// Minimal depth: a full tree of depth-1 cannot hold all elements.
+		depth := Depth(d)
+		capacity := 1
+		level := 1
+		for dd := 1; dd < depth; dd++ {
+			level *= fanout
+			capacity += level
+		}
+		return capacity < elements || depth == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBLP(t *testing.T) {
+	d := DBLP(DBLPParams{Publications: 500, Seed: 1})
+	root := d.FirstChild(d.Root())
+	if d.LocalName(root) != "dblp" {
+		t.Fatalf("root %q", d.LocalName(root))
+	}
+	pubs := 0
+	kinds := map[string]int{}
+	plantedFound := false
+	for c := d.FirstChild(root); c != dom.NilNode; c = d.NextSibling(c) {
+		pubs++
+		kinds[d.LocalName(c)]++
+		// Every publication has key, author, title, year.
+		a := d.FirstAttr(c)
+		if a == dom.NilNode || d.LocalName(a) != "key" {
+			t.Fatalf("publication without key attribute")
+		}
+		if d.Value(a) == PlantedKey {
+			plantedFound = true
+		}
+		var author, title, year bool
+		for gc := d.FirstChild(c); gc != dom.NilNode; gc = d.NextSibling(gc) {
+			switch d.LocalName(gc) {
+			case "author":
+				author = true
+			case "title":
+				title = true
+			case "year":
+				year = true
+			}
+		}
+		if !author || !title || !year {
+			t.Fatalf("publication %s missing children", d.Value(a))
+		}
+	}
+	if pubs != 500 {
+		t.Errorf("publications %d", pubs)
+	}
+	if kinds["article"] == 0 || kinds["inproceedings"] == 0 {
+		t.Errorf("kind distribution %v", kinds)
+	}
+	if kinds["inproceedings"] < kinds["article"] {
+		t.Errorf("inproceedings should dominate: %v", kinds)
+	}
+	if !plantedFound {
+		t.Error("planted key missing")
+	}
+}
+
+func TestDBLPDeterministic(t *testing.T) {
+	a := DBLP(DBLPParams{Publications: 100, Seed: 42})
+	b := DBLP(DBLPParams{Publications: 100, Seed: 42})
+	if dom.SerializeString(a) != dom.SerializeString(b) {
+		t.Error("same seed produced different documents")
+	}
+	c := DBLP(DBLPParams{Publications: 100, Seed: 43})
+	if dom.SerializeString(a) == dom.SerializeString(c) {
+		t.Error("different seeds produced identical documents")
+	}
+}

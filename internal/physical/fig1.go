@@ -1,0 +1,232 @@
+package physical
+
+import (
+	"fmt"
+	"math"
+
+	"natix/internal/dom"
+	"natix/internal/nvm"
+	"natix/internal/xval"
+)
+
+// This file implements the remaining Fig. 1 operators (×, μ, Γ) that the
+// translator does not emit directly but the algebra defines; they complete
+// the physical algebra for hand-built plans and future optimizer output.
+
+// CrossIter is ×: the independent right side is materialized once per Open
+// and replayed for every left tuple.
+type CrossIter struct {
+	Ex        *Exec
+	L, R      Iter
+	RSaveRegs []int
+
+	rRows []row
+	rIdx  int
+	lHas  bool
+}
+
+// Open implements Iter.
+func (c *CrossIter) Open() error {
+	c.rRows = c.rRows[:0]
+	c.rIdx = 0
+	c.lHas = false
+	if err := c.R.Open(); err != nil {
+		return err
+	}
+	regs := c.Ex.M.Regs
+	for {
+		ok, err := c.R.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		c.rRows = append(c.rRows, snapshot(regs, c.RSaveRegs, nil))
+	}
+	if err := c.R.Close(); err != nil {
+		return err
+	}
+	return c.L.Open()
+}
+
+// Next implements Iter.
+func (c *CrossIter) Next() (bool, error) {
+	if len(c.rRows) == 0 {
+		return false, nil
+	}
+	regs := c.Ex.M.Regs
+	for {
+		if c.lHas && c.rIdx < len(c.rRows) {
+			restore(regs, c.RSaveRegs, c.rRows[c.rIdx])
+			c.rIdx++
+			return true, nil
+		}
+		ok, err := c.L.Next()
+		if err != nil || !ok {
+			return false, err
+		}
+		c.lHas = true
+		c.rIdx = 0
+	}
+}
+
+// Close implements Iter.
+func (c *CrossIter) Close() error { return c.L.Close() }
+
+// UnnestIter is μ: one output tuple per node of a node-set-valued
+// attribute.
+type UnnestIter struct {
+	Ex      *Exec
+	In      Iter
+	AttrReg int
+	OutReg  int
+
+	nodes []dom.Node
+	idx   int
+}
+
+// Open implements Iter.
+func (u *UnnestIter) Open() error {
+	u.nodes = nil
+	u.idx = 0
+	return u.In.Open()
+}
+
+// Next implements Iter.
+func (u *UnnestIter) Next() (bool, error) {
+	regs := u.Ex.M.Regs
+	for {
+		if u.idx < len(u.nodes) {
+			regs[u.OutReg] = nvm.NodeVal(u.nodes[u.idx])
+			u.idx++
+			return true, nil
+		}
+		ok, err := u.In.Next()
+		if err != nil || !ok {
+			return false, err
+		}
+		v := regs[u.AttrReg]
+		if v.IsNode() {
+			u.nodes = []dom.Node{v.Node()}
+		} else {
+			val := v.Value()
+			if !val.IsNodeSet() {
+				return false, fmt.Errorf("physical: unnest of %s attribute", val.Kind)
+			}
+			u.nodes = val.Nodes
+		}
+		u.idx = 0
+	}
+}
+
+// Close implements Iter.
+func (u *UnnestIter) Close() error { return u.In.Close() }
+
+// GroupIter is the binary grouping Γ: it materializes the right side's
+// (join value, aggregate input) pairs at Open, then extends each left
+// tuple with the aggregate over its matching group.
+type GroupIter struct {
+	Ex         *Exec
+	L, R       Iter
+	OutReg     int
+	LReg, RReg int
+	AggReg     int
+	Theta      xval.CompareOp
+	Agg        nvm.AggCode
+
+	pairs []groupPair
+}
+
+type groupPair struct {
+	join nvm.Val
+	agg  nvm.Val
+}
+
+// Open implements Iter.
+func (g *GroupIter) Open() error {
+	g.pairs = g.pairs[:0]
+	if err := g.R.Open(); err != nil {
+		return err
+	}
+	regs := g.Ex.M.Regs
+	for {
+		ok, err := g.R.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		g.pairs = append(g.pairs, groupPair{join: regs[g.RReg], agg: regs[g.AggReg]})
+	}
+	if err := g.R.Close(); err != nil {
+		return err
+	}
+	return g.L.Open()
+}
+
+// Next implements Iter.
+func (g *GroupIter) Next() (bool, error) {
+	ok, err := g.L.Next()
+	if err != nil || !ok {
+		return false, err
+	}
+	regs := g.Ex.M.Regs
+	left := regs[g.LReg]
+
+	count := 0
+	sum := 0.0
+	best := math.NaN()
+	exists := false
+	var first dom.Node
+	var collected []dom.Node
+	for _, p := range g.pairs {
+		if !nvm.Compare(g.Theta, left, p.join) {
+			continue
+		}
+		exists = true
+		switch g.Agg {
+		case nvm.AggCount:
+			count++
+		case nvm.AggSum:
+			sum += p.agg.Num()
+		case nvm.AggMax:
+			if n := p.agg.Num(); math.IsNaN(best) || n > best {
+				best = n
+			}
+		case nvm.AggMin:
+			if n := p.agg.Num(); math.IsNaN(best) || n < best {
+				best = n
+			}
+		case nvm.AggFirstNode:
+			if n := p.agg.Node(); first.IsNil() || dom.CompareOrder(n, first) < 0 {
+				first = n
+			}
+		case nvm.AggCollect:
+			collected = append(collected, p.agg.Node())
+		}
+	}
+	switch g.Agg {
+	case nvm.AggExists:
+		regs[g.OutReg] = nvm.BoolVal(exists)
+	case nvm.AggCount:
+		regs[g.OutReg] = nvm.NumVal(float64(count))
+	case nvm.AggSum:
+		regs[g.OutReg] = nvm.NumVal(sum)
+	case nvm.AggMax, nvm.AggMin:
+		regs[g.OutReg] = nvm.NumVal(best)
+	case nvm.AggFirstNode:
+		if first.IsNil() {
+			regs[g.OutReg] = nvm.ScalarVal(xval.NodeSet(nil))
+		} else {
+			regs[g.OutReg] = nvm.NodeVal(first)
+		}
+	case nvm.AggCollect:
+		regs[g.OutReg] = nvm.ScalarVal(xval.NodeSet(collected))
+	}
+	return true, nil
+}
+
+// Close implements Iter.
+func (g *GroupIter) Close() error { return g.L.Close() }

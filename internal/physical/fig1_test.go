@@ -1,0 +1,134 @@
+package physical
+
+import (
+	"testing"
+
+	"natix/internal/dom"
+	"natix/internal/nvm"
+	"natix/internal/xval"
+)
+
+func TestCrossIter(t *testing.T) {
+	ex := newExec(3)
+	mkL := func() Iter {
+		return &feedIter{ex: ex, rows: []map[int]nvm.Val{
+			{0: nvm.NumVal(1)}, {0: nvm.NumVal(2)},
+		}}
+	}
+	mkR := func(vals ...float64) Iter {
+		var rows []map[int]nvm.Val
+		for _, v := range vals {
+			rows = append(rows, map[int]nvm.Val{1: nvm.NumVal(v)})
+		}
+		return &feedIter{ex: ex, rows: rows}
+	}
+	cr := &CrossIter{Ex: ex, L: mkL(), R: mkR(10, 20, 30), RSaveRegs: []int{1}}
+	var got [][2]float64
+	drain(t, cr, func() {
+		got = append(got, [2]float64{ex.M.Regs[0].Num(), ex.M.Regs[1].Num()})
+	})
+	if len(got) != 6 {
+		t.Fatalf("cross emitted %d tuples, want 6", len(got))
+	}
+	want := [][2]float64{{1, 10}, {1, 20}, {1, 30}, {2, 10}, {2, 20}, {2, 30}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tuple %d = %v, want %v (all %v)", i, got[i], want[i], got)
+		}
+	}
+	// Empty right side: no output at all.
+	cr2 := &CrossIter{Ex: ex, L: mkL(), R: mkR(), RSaveRegs: []int{1}}
+	if n := drain(t, cr2, nil); n != 0 {
+		t.Errorf("cross with empty right emitted %d", n)
+	}
+}
+
+func TestUnnestIter(t *testing.T) {
+	d, _ := dom.ParseString("<a><b/><c/></a>")
+	var nodes []dom.Node
+	for id := dom.NodeID(1); int(id) <= d.NodeCount(); id++ {
+		if d.Kind(id) == dom.KindElement && d.LocalName(id) != "a" {
+			nodes = append(nodes, dom.Node{Doc: d, ID: id})
+		}
+	}
+	ex := newExec(2)
+	rows := []map[int]nvm.Val{
+		{0: nvm.ScalarVal(xval.NodeSet(nodes))},
+		{0: nvm.ScalarVal(xval.NodeSet(nil))}, // empty: contributes nothing
+		{0: nvm.NodeVal(nodes[0])},            // single node unnests to itself
+	}
+	un := &UnnestIter{Ex: ex, In: &feedIter{ex: ex, rows: rows}, AttrReg: 0, OutReg: 1}
+	var got []dom.NodeID
+	drain(t, un, func() { got = append(got, ex.M.Regs[1].Node().ID) })
+	if len(got) != 3 || got[0] != nodes[0].ID || got[1] != nodes[1].ID || got[2] != nodes[0].ID {
+		t.Errorf("unnest output %v", got)
+	}
+	// Scalar attribute is an error.
+	bad := &UnnestIter{Ex: ex, In: &feedIter{ex: ex, rows: []map[int]nvm.Val{{0: nvm.NumVal(1)}}}, AttrReg: 0, OutReg: 1}
+	if err := bad.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Next(); err == nil {
+		t.Error("unnest of a number accepted")
+	}
+}
+
+func TestGroupIter(t *testing.T) {
+	ex := newExec(4)
+	mkL := func(vals ...float64) Iter {
+		var rows []map[int]nvm.Val
+		for _, v := range vals {
+			rows = append(rows, map[int]nvm.Val{0: nvm.NumVal(v)})
+		}
+		return &feedIter{ex: ex, rows: rows}
+	}
+	// Right pairs: (join key in r1, aggregate input in r2).
+	mkR := func(pairs ...[2]float64) Iter {
+		var rows []map[int]nvm.Val
+		for _, p := range pairs {
+			rows = append(rows, map[int]nvm.Val{1: nvm.NumVal(p[0]), 2: nvm.NumVal(p[1])})
+		}
+		return &feedIter{ex: ex, rows: rows}
+	}
+
+	// count per equal key: the paper's Tmp^cs_c definition shape
+	// (e1 Γ_{cs; c=c'; count} Π(e2)).
+	gr := &GroupIter{
+		Ex: ex, L: mkL(1, 2, 3), R: mkR([2]float64{1, 0}, [2]float64{1, 0}, [2]float64{2, 0}),
+		OutReg: 3, LReg: 0, RReg: 1, AggReg: 2,
+		Theta: xval.OpEq, Agg: nvm.AggCount,
+	}
+	var got []float64
+	drain(t, gr, func() { got = append(got, ex.M.Regs[3].Num()) })
+	want := []float64{2, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("group counts %v, want %v", got, want)
+		}
+	}
+
+	// sum over a theta-inequality group: for each left value, sum of
+	// right aggregates with join key < left.
+	gr2 := &GroupIter{
+		Ex: ex, L: mkL(2, 10), R: mkR([2]float64{1, 5}, [2]float64{3, 7}, [2]float64{9, 11}),
+		OutReg: 3, LReg: 0, RReg: 1, AggReg: 2,
+		Theta: xval.OpGt, Agg: nvm.AggSum,
+	}
+	got = nil
+	drain(t, gr2, func() { got = append(got, ex.M.Regs[3].Num()) })
+	if got[0] != 5 || got[1] != 23 {
+		t.Errorf("theta-group sums %v, want [5 23]", got)
+	}
+
+	// exists variant.
+	gr3 := &GroupIter{
+		Ex: ex, L: mkL(1, 5), R: mkR([2]float64{1, 0}),
+		OutReg: 3, LReg: 0, RReg: 1, AggReg: 2,
+		Theta: xval.OpEq, Agg: nvm.AggExists,
+	}
+	var bools []bool
+	drain(t, gr3, func() { bools = append(bools, ex.M.Regs[3].Bool()) })
+	if !bools[0] || bools[1] {
+		t.Errorf("group exists %v", bools)
+	}
+}

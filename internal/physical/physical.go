@@ -1,0 +1,899 @@
+// Package physical implements the Natix Query Execution Engine (NQE,
+// paper section 5.2): iterator [9] implementations for every logical
+// operator, operating on the shared register file of the virtual machine.
+// Wherever possible intermediate results are pipelined; only Sort, Tmp^cs,
+// MemoX and the comparison joins materialize, and then only the registers
+// their own subtree binds.
+package physical
+
+import (
+	"fmt"
+	"sort"
+
+	"natix/internal/dom"
+	"natix/internal/nvm"
+	"natix/internal/xfn"
+)
+
+// Iter is the open/next/close iterator protocol. Next leaves the produced
+// tuple's attribute values in the machine registers.
+type Iter = nvm.Iterator
+
+// Stats counts engine events during one execution, for the benchmark
+// harness and the ablation studies.
+type Stats struct {
+	// AxisSteps counts nodes enumerated by unnest-map axis traversals
+	// (before node tests).
+	AxisSteps int64
+	// Tuples counts tuples produced by unnest-maps (after node tests).
+	Tuples int64
+	// DupDropped counts tuples removed by duplicate eliminations.
+	DupDropped int64
+	// MemoHits/MemoMisses count MemoX evaluations answered from cache
+	// versus computed.
+	MemoHits   int64
+	MemoMisses int64
+	// Sorted counts tuples passing through sort operators.
+	Sorted int64
+}
+
+// Exec is the shared execution state of one query run.
+type Exec struct {
+	M     *nvm.Machine
+	IDs   *xfn.IDIndex
+	Names *xfn.NameIndex
+	// CtxDoc is the document of the initial context node; id() and index
+	// scans resolve against it.
+	CtxDoc dom.Document
+	Stats  Stats
+}
+
+// errIter reports a construction-time problem at Open.
+type errIter struct{ err error }
+
+func (e *errIter) Open() error         { return e.err }
+func (e *errIter) Next() (bool, error) { return false, e.err }
+func (e *errIter) Close() error        { return nil }
+
+// NewErrIter returns an iterator that fails with err.
+func NewErrIter(err error) Iter { return &errIter{err: err} }
+
+// SingletonScan is □.
+type SingletonScan struct {
+	done bool
+}
+
+// Open implements Iter.
+func (s *SingletonScan) Open() error { s.done = false; return nil }
+
+// Next implements Iter.
+func (s *SingletonScan) Next() (bool, error) {
+	if s.done {
+		return false, nil
+	}
+	s.done = true
+	return true, nil
+}
+
+// Close implements Iter.
+func (s *SingletonScan) Close() error { return nil }
+
+// VarScan emits the nodes of a node-set variable.
+type VarScan struct {
+	Ex     *Exec
+	Name   string
+	OutReg int
+
+	nodes []dom.Node
+	idx   int
+}
+
+// Open implements Iter.
+func (s *VarScan) Open() error {
+	v, ok := s.Ex.M.Vars[s.Name]
+	if !ok {
+		return fmt.Errorf("physical: unbound variable $%s", s.Name)
+	}
+	if !v.IsNodeSet() {
+		return fmt.Errorf("physical: $%s is a %s, not a node-set", s.Name, v.Kind)
+	}
+	s.nodes, s.idx = v.Nodes, 0
+	return nil
+}
+
+// Next implements Iter.
+func (s *VarScan) Next() (bool, error) {
+	if s.idx >= len(s.nodes) {
+		return false, nil
+	}
+	s.Ex.M.Regs[s.OutReg] = nvm.NodeVal(s.nodes[s.idx])
+	s.idx++
+	return true, nil
+}
+
+// Close implements Iter.
+func (s *VarScan) Close() error { return nil }
+
+// UnnestMap enumerates an axis from the node in InReg, writing matches to
+// OutReg (Υ). With EpochReg >= 0 it also writes a counter that increments
+// per input tuple, marking context boundaries for downstream position
+// counting.
+type UnnestMap struct {
+	Ex       *Exec
+	In       Iter
+	InReg    int
+	OutReg   int
+	EpochReg int // -1 when unused
+	Axis     dom.Axis
+	Test     dom.NodeTest
+
+	stepper   *dom.Stepper
+	principal dom.NodeKind
+	active    bool
+	epoch     int64
+}
+
+// Open implements Iter.
+func (u *UnnestMap) Open() error {
+	if u.stepper == nil {
+		u.stepper = dom.NewStepper(u.Axis)
+		u.principal = u.Axis.Principal()
+	}
+	u.active = false
+	return u.In.Open()
+}
+
+// Next implements Iter.
+func (u *UnnestMap) Next() (bool, error) {
+	regs := u.Ex.M.Regs
+	for {
+		if !u.active {
+			ok, err := u.In.Next()
+			if err != nil || !ok {
+				return false, err
+			}
+			n := regs[u.InReg].Node()
+			if n.IsNil() {
+				continue // non-node context (e.g. empty deref): no output
+			}
+			u.stepper.Reset(n.Doc, n.ID)
+			u.epoch++
+			if u.EpochReg >= 0 {
+				regs[u.EpochReg] = nvm.NumVal(float64(u.epoch))
+			}
+			u.active = true
+		}
+		for {
+			id, ok := u.stepper.Next()
+			if !ok {
+				u.active = false
+				break
+			}
+			u.Ex.Stats.AxisSteps++
+			n := regs[u.InReg].Node()
+			if u.Test.Matches(n.Doc, id, u.principal) {
+				regs[u.OutReg] = nvm.NodeVal(dom.Node{Doc: n.Doc, ID: id})
+				if u.EpochReg >= 0 {
+					// Rewrite on every tuple, not only on input advance: a
+					// downstream materializer replay may have restored an
+					// older epoch into the register between pulls.
+					regs[u.EpochReg] = nvm.NumVal(float64(u.epoch))
+				}
+				u.Ex.Stats.Tuples++
+				return true, nil
+			}
+		}
+	}
+}
+
+// Close implements Iter.
+func (u *UnnestMap) Close() error { return u.In.Close() }
+
+// IndexScan emits the context document's elements matching a name test in
+// document order, from the lazily built element-name index.
+type IndexScan struct {
+	Ex     *Exec
+	OutReg int
+	// URI/Local follow xfn.NameIndex conventions ("*" wildcards).
+	URI, Local string
+
+	ids []dom.NodeID
+	idx int
+}
+
+// Open implements Iter.
+func (s *IndexScan) Open() error {
+	s.ids = s.Ex.Names.Elements(s.Ex.CtxDoc, s.URI, s.Local)
+	s.idx = 0
+	return nil
+}
+
+// Next implements Iter.
+func (s *IndexScan) Next() (bool, error) {
+	if s.idx >= len(s.ids) {
+		return false, nil
+	}
+	s.Ex.M.Regs[s.OutReg] = nvm.NodeVal(dom.Node{Doc: s.Ex.CtxDoc, ID: s.ids[s.idx]})
+	s.idx++
+	s.Ex.Stats.Tuples++
+	return true, nil
+}
+
+// Close implements Iter.
+func (s *IndexScan) Close() error { return nil }
+
+// Select filters by a boolean program (σ).
+type Select struct {
+	Ex   *Exec
+	In   Iter
+	Prog *nvm.Program
+}
+
+// Open implements Iter.
+func (s *Select) Open() error { return s.In.Open() }
+
+// Next implements Iter.
+func (s *Select) Next() (bool, error) {
+	for {
+		ok, err := s.In.Next()
+		if err != nil || !ok {
+			return false, err
+		}
+		keep, err := s.Ex.M.RunBool(s.Prog)
+		if err != nil {
+			return false, err
+		}
+		if keep {
+			return true, nil
+		}
+	}
+}
+
+// Close implements Iter.
+func (s *Select) Close() error { return s.In.Close() }
+
+// Map computes an attribute per tuple (χ). Pure attribute aliases are
+// resolved by the code generator and never reach execution.
+type Map struct {
+	Ex     *Exec
+	In     Iter
+	Prog   *nvm.Program
+	OutReg int
+}
+
+// Open implements Iter.
+func (m *Map) Open() error { return m.In.Open() }
+
+// Next implements Iter.
+func (m *Map) Next() (bool, error) {
+	ok, err := m.In.Next()
+	if err != nil || !ok {
+		return false, err
+	}
+	v, err := m.Ex.M.Run(m.Prog)
+	if err != nil {
+		return false, err
+	}
+	m.Ex.M.Regs[m.OutReg] = v
+	return true, nil
+}
+
+// Close implements Iter.
+func (m *Map) Close() error { return m.In.Close() }
+
+// PosMap writes 1-based context positions (χ_cp:counter++, section 3.3.3).
+// The counter resets at Open and, when EpochReg is set, whenever the epoch
+// changes (stacked translation, section 4.3.1).
+type PosMap struct {
+	Ex       *Exec
+	In       Iter
+	OutReg   int
+	EpochReg int // -1: reset only at Open
+
+	counter   int64
+	lastEpoch float64
+}
+
+// Open implements Iter.
+func (p *PosMap) Open() error {
+	p.counter = 0
+	p.lastEpoch = -1
+	return p.In.Open()
+}
+
+// Next implements Iter.
+func (p *PosMap) Next() (bool, error) {
+	ok, err := p.In.Next()
+	if err != nil || !ok {
+		return false, err
+	}
+	regs := p.Ex.M.Regs
+	if p.EpochReg >= 0 {
+		if e := regs[p.EpochReg].Num(); e != p.lastEpoch {
+			p.counter = 0
+			p.lastEpoch = e
+		}
+	}
+	p.counter++
+	regs[p.OutReg] = nvm.NumVal(float64(p.counter))
+	return true, nil
+}
+
+// Close implements Iter.
+func (p *PosMap) Close() error { return p.In.Close() }
+
+// row is a saved register snapshot used by materializing operators.
+type row []nvm.Val
+
+func snapshot(regs []nvm.Val, which []int, buf row) row {
+	if buf == nil {
+		buf = make(row, len(which))
+	}
+	for i, r := range which {
+		buf[i] = regs[r]
+	}
+	return buf
+}
+
+func restore(regs []nvm.Val, which []int, r row) {
+	for i, reg := range which {
+		regs[reg] = r[i]
+	}
+}
+
+// TmpCS implements Tmp^cs/Tmp^cs_c (section 5.2.4): each context is
+// materialized once; the position attribute of its final tuple is the
+// context size, which is attached to every re-emitted tuple.
+type TmpCS struct {
+	Ex       *Exec
+	In       Iter
+	PosReg   int
+	OutReg   int
+	EpochReg int   // -1: whole input is one context
+	SaveRegs []int // registers produced by the input subtree
+
+	buf       []row
+	idx       int
+	cs        float64
+	pending   bool // a lookahead tuple (next context) is buffered
+	pendRow   row
+	inOpen    bool
+	exhausted bool
+}
+
+// Open implements Iter.
+func (t *TmpCS) Open() error {
+	t.buf = t.buf[:0]
+	t.idx = 0
+	t.pending = false
+	t.exhausted = false
+	t.inOpen = true
+	return t.In.Open()
+}
+
+// Next implements Iter.
+func (t *TmpCS) Next() (bool, error) {
+	regs := t.Ex.M.Regs
+	for {
+		if t.idx < len(t.buf) {
+			restore(regs, t.SaveRegs, t.buf[t.idx])
+			regs[t.OutReg] = nvm.NumVal(t.cs)
+			t.idx++
+			return true, nil
+		}
+		// Current context fully replayed; gather the next one.
+		t.buf = t.buf[:0]
+		t.idx = 0
+		if t.exhausted && !t.pending {
+			return false, nil
+		}
+		var epoch float64
+		if t.pending {
+			t.buf = append(t.buf, t.pendRow)
+			t.pendRow = nil
+			t.pending = false
+			if t.EpochReg >= 0 {
+				epoch = t.buf[0][t.epochSlot()].Num()
+			}
+		}
+		for !t.exhausted {
+			ok, err := t.In.Next()
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				t.exhausted = true
+				break
+			}
+			r := snapshot(regs, t.SaveRegs, nil)
+			if t.EpochReg >= 0 {
+				e := regs[t.EpochReg].Num()
+				if len(t.buf) == 0 {
+					epoch = e
+				} else if e != epoch {
+					// The tuple belongs to the next context.
+					t.pendRow = r
+					t.pending = true
+					break
+				}
+			}
+			t.buf = append(t.buf, r)
+		}
+		if len(t.buf) == 0 {
+			if t.exhausted && !t.pending {
+				return false, nil
+			}
+			continue
+		}
+		// The position attribute of the final tuple is the context size.
+		t.cs = t.buf[len(t.buf)-1][t.posSlot()].Num()
+	}
+}
+
+func (t *TmpCS) posSlot() int { return slotOf(t.SaveRegs, t.PosReg) }
+
+func (t *TmpCS) epochSlot() int { return slotOf(t.SaveRegs, t.EpochReg) }
+
+func slotOf(regs []int, reg int) int {
+	for i, r := range regs {
+		if r == reg {
+			return i
+		}
+	}
+	panic("physical: register not in snapshot set")
+}
+
+// Close implements Iter.
+func (t *TmpCS) Close() error {
+	if t.inOpen {
+		t.inOpen = false
+		return t.In.Close()
+	}
+	return nil
+}
+
+// DJoin re-evaluates the dependent side per left tuple (section 3.1.1).
+type DJoin struct {
+	L, R Iter
+
+	rOpen bool
+}
+
+// Open implements Iter.
+func (d *DJoin) Open() error {
+	d.rOpen = false
+	return d.L.Open()
+}
+
+// Next implements Iter.
+func (d *DJoin) Next() (bool, error) {
+	for {
+		if d.rOpen {
+			ok, err := d.R.Next()
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+			if err := d.R.Close(); err != nil {
+				return false, err
+			}
+			d.rOpen = false
+		}
+		ok, err := d.L.Next()
+		if err != nil || !ok {
+			return false, err
+		}
+		if err := d.R.Open(); err != nil {
+			return false, err
+		}
+		d.rOpen = true
+	}
+}
+
+// Close implements Iter.
+func (d *DJoin) Close() error {
+	if d.rOpen {
+		d.rOpen = false
+		if err := d.R.Close(); err != nil {
+			return err
+		}
+	}
+	return d.L.Close()
+}
+
+// MemoX is 𝔐 (section 4.2.2): keyed by the node in KeyReg at Open, it
+// caches the register snapshots its input produces and replays them on
+// later evaluations with the same key. The cache lives for one query
+// execution. An evaluation abandoned before exhaustion (smart aggregation
+// early exit) leaves no cache entry.
+type MemoX struct {
+	Ex       *Exec
+	In       Iter
+	KeyReg   int
+	SaveRegs []int
+
+	cache     map[any][]row
+	replay    []row
+	replayIdx int
+	recording bool
+	recorded  []row
+	key       any
+	inOpen    bool
+}
+
+// Open implements Iter.
+func (m *MemoX) Open() error {
+	if m.cache == nil {
+		m.cache = make(map[any][]row)
+	}
+	if m.inOpen {
+		// Re-opened before exhaustion: drop the partial recording.
+		m.recording = false
+		if err := m.In.Close(); err != nil {
+			return err
+		}
+		m.inOpen = false
+	}
+	m.key = m.Ex.M.Regs[m.KeyReg].Key()
+	if rows, ok := m.cache[m.key]; ok {
+		m.Ex.Stats.MemoHits++
+		m.replay, m.replayIdx = rows, 0
+		return nil
+	}
+	m.Ex.Stats.MemoMisses++
+	m.replay = nil
+	m.recorded = m.recorded[:0]
+	m.recording = true
+	m.inOpen = true
+	return m.In.Open()
+}
+
+// Next implements Iter.
+func (m *MemoX) Next() (bool, error) {
+	regs := m.Ex.M.Regs
+	if m.replay != nil {
+		if m.replayIdx >= len(m.replay) {
+			return false, nil
+		}
+		restore(regs, m.SaveRegs, m.replay[m.replayIdx])
+		m.replayIdx++
+		return true, nil
+	}
+	ok, err := m.In.Next()
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		if m.recording {
+			rows := make([]row, len(m.recorded))
+			copy(rows, m.recorded)
+			m.cache[m.key] = rows
+			m.recording = false
+		}
+		return false, nil
+	}
+	if m.recording {
+		m.recorded = append(m.recorded, snapshot(regs, m.SaveRegs, nil))
+	}
+	return true, nil
+}
+
+// Close implements Iter.
+func (m *MemoX) Close() error {
+	m.recording = false
+	m.replay = nil
+	if m.inOpen {
+		m.inOpen = false
+		return m.In.Close()
+	}
+	return nil
+}
+
+// DupElim is Π^D on one attribute: state resets at Open, so its dedup scope
+// is one evaluation of the (sub)plan it sits in.
+type DupElim struct {
+	Ex      *Exec
+	In      Iter
+	AttrReg int
+
+	seen map[any]struct{}
+}
+
+// Open implements Iter.
+func (d *DupElim) Open() error {
+	if d.seen == nil {
+		d.seen = make(map[any]struct{})
+	} else {
+		clear(d.seen)
+	}
+	return d.In.Open()
+}
+
+// Next implements Iter.
+func (d *DupElim) Next() (bool, error) {
+	for {
+		ok, err := d.In.Next()
+		if err != nil || !ok {
+			return false, err
+		}
+		k := d.Ex.M.Regs[d.AttrReg].Key()
+		if _, dup := d.seen[k]; dup {
+			d.Ex.Stats.DupDropped++
+			continue
+		}
+		d.seen[k] = struct{}{}
+		return true, nil
+	}
+}
+
+// Close implements Iter.
+func (d *DupElim) Close() error { return d.In.Close() }
+
+// Concat is ⊕: inputs in order. All inputs write the same output register
+// (attribute aliasing by the code generator).
+type Concat struct {
+	Ins []Iter
+
+	idx    int
+	opened bool
+}
+
+// Open implements Iter.
+func (c *Concat) Open() error {
+	c.idx = 0
+	c.opened = false
+	return nil
+}
+
+// Next implements Iter.
+func (c *Concat) Next() (bool, error) {
+	for c.idx < len(c.Ins) {
+		if !c.opened {
+			if err := c.Ins[c.idx].Open(); err != nil {
+				return false, err
+			}
+			c.opened = true
+		}
+		ok, err := c.Ins[c.idx].Next()
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+		if err := c.Ins[c.idx].Close(); err != nil {
+			return false, err
+		}
+		c.opened = false
+		c.idx++
+	}
+	return false, nil
+}
+
+// Close implements Iter.
+func (c *Concat) Close() error {
+	if c.opened {
+		c.opened = false
+		return c.Ins[c.idx].Close()
+	}
+	return nil
+}
+
+// SortIter materializes its input and emits it in document order of the
+// node attribute (section 3.4.2).
+type SortIter struct {
+	Ex       *Exec
+	In       Iter
+	AttrReg  int
+	SaveRegs []int
+
+	rows []row
+	idx  int
+}
+
+// Open implements Iter.
+func (s *SortIter) Open() error {
+	s.rows = s.rows[:0]
+	s.idx = 0
+	if err := s.In.Open(); err != nil {
+		return err
+	}
+	regs := s.Ex.M.Regs
+	for {
+		ok, err := s.In.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.rows = append(s.rows, snapshot(regs, s.SaveRegs, nil))
+	}
+	if err := s.In.Close(); err != nil {
+		return err
+	}
+	slot := slotOf(s.SaveRegs, s.AttrReg)
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		return dom.CompareOrder(s.rows[i][slot].Node(), s.rows[j][slot].Node()) < 0
+	})
+	s.Ex.Stats.Sorted += int64(len(s.rows))
+	return nil
+}
+
+// Next implements Iter.
+func (s *SortIter) Next() (bool, error) {
+	if s.idx >= len(s.rows) {
+		return false, nil
+	}
+	restore(s.Ex.M.Regs, s.SaveRegs, s.rows[s.idx])
+	s.idx++
+	return true, nil
+}
+
+// Close implements Iter.
+func (s *SortIter) Close() error { return nil }
+
+// TokenizeIter splits the string value of a program into whitespace tokens,
+// one tuple per token (id() input conversion).
+type TokenizeIter struct {
+	Ex     *Exec
+	In     Iter
+	Prog   *nvm.Program
+	OutReg int
+
+	tokens []string
+	idx    int
+	active bool
+}
+
+// Open implements Iter.
+func (t *TokenizeIter) Open() error {
+	t.active = false
+	return t.In.Open()
+}
+
+// Next implements Iter.
+func (t *TokenizeIter) Next() (bool, error) {
+	for {
+		if t.active && t.idx < len(t.tokens) {
+			t.Ex.M.Regs[t.OutReg] = nvm.StrVal(t.tokens[t.idx])
+			t.idx++
+			return true, nil
+		}
+		ok, err := t.In.Next()
+		if err != nil || !ok {
+			return false, err
+		}
+		v, err := t.Ex.M.Run(t.Prog)
+		if err != nil {
+			return false, err
+		}
+		t.tokens = xfn.Tokenize(v.Str())
+		t.idx = 0
+		t.active = true
+	}
+}
+
+// Close implements Iter.
+func (t *TokenizeIter) Close() error { return t.In.Close() }
+
+// DerefIter resolves one ID string per input tuple to an element, emitting
+// a tuple only on success (deref() of section 3.6.3).
+type DerefIter struct {
+	Ex     *Exec
+	In     Iter
+	Prog   *nvm.Program
+	OutReg int
+}
+
+// Open implements Iter.
+func (d *DerefIter) Open() error { return d.In.Open() }
+
+// Next implements Iter.
+func (d *DerefIter) Next() (bool, error) {
+	for {
+		ok, err := d.In.Next()
+		if err != nil || !ok {
+			return false, err
+		}
+		v, err := d.Ex.M.Run(d.Prog)
+		if err != nil {
+			return false, err
+		}
+		if n, found := d.Ex.IDs.Lookup(d.Ex.CtxDoc, v.Str()); found {
+			d.Ex.M.Regs[d.OutReg] = nvm.NodeVal(n)
+			return true, nil
+		}
+	}
+}
+
+// Close implements Iter.
+func (d *DerefIter) Close() error { return d.In.Close() }
+
+// ExistsJoin implements the node-set comparison joins of section 3.6.2.
+// The right side's distinct string-values are materialized once at Open;
+// left tuples stream through and are emitted if some right value matches
+// (equality or inequality). The consuming exists() aggregate stops at the
+// first emitted tuple.
+type ExistsJoin struct {
+	Ex   *Exec
+	L, R Iter
+	LReg int
+	RReg int
+	Eq   bool
+
+	rVals    map[string]struct{}
+	anyTwo   bool // inequality: at least two distinct right values
+	singular string
+}
+
+// Open implements Iter.
+func (j *ExistsJoin) Open() error {
+	if j.rVals == nil {
+		j.rVals = make(map[string]struct{})
+	} else {
+		clear(j.rVals)
+	}
+	j.anyTwo = false
+	if err := j.R.Open(); err != nil {
+		return err
+	}
+	regs := j.Ex.M.Regs
+	for {
+		ok, err := j.R.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		sv := regs[j.RReg].Str()
+		j.rVals[sv] = struct{}{}
+		if len(j.rVals) >= 2 {
+			j.anyTwo = true
+			if !j.Eq {
+				// Inequality needs no more right values: any left tuple
+				// will find a differing one.
+				break
+			}
+		}
+	}
+	if err := j.R.Close(); err != nil {
+		return err
+	}
+	if !j.Eq && len(j.rVals) == 1 {
+		for v := range j.rVals {
+			j.singular = v
+		}
+	}
+	return j.L.Open()
+}
+
+// Next implements Iter.
+func (j *ExistsJoin) Next() (bool, error) {
+	if len(j.rVals) == 0 {
+		return false, nil // empty right side: no pair exists
+	}
+	regs := j.Ex.M.Regs
+	for {
+		ok, err := j.L.Next()
+		if err != nil || !ok {
+			return false, err
+		}
+		sv := regs[j.LReg].Str()
+		if j.Eq {
+			if _, hit := j.rVals[sv]; hit {
+				return true, nil
+			}
+			continue
+		}
+		if j.anyTwo || sv != j.singular {
+			return true, nil
+		}
+	}
+}
+
+// Close implements Iter.
+func (j *ExistsJoin) Close() error { return j.L.Close() }

@@ -1,0 +1,423 @@
+package sem
+
+import (
+	"fmt"
+
+	"natix/internal/dom"
+	"natix/internal/xpath"
+	"natix/internal/xval"
+)
+
+// Env is the static context of an expression: in-scope namespace prefixes
+// and (optionally) the set of declared variables.
+type Env struct {
+	// Namespaces maps prefixes usable in the expression to namespace URIs.
+	Namespaces map[string]string
+	// Vars, when non-nil, restricts the variables the expression may
+	// reference. When nil any variable name is accepted and checked at
+	// execution time.
+	Vars map[string]struct{}
+}
+
+// Error is a semantic-analysis error.
+type Error struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return "xpath semantic: " + e.Msg }
+
+func errf(format string, args ...any) error {
+	return &Error{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Analyze runs normalization and semantic analysis on a parsed expression,
+// followed by constant folding, producing the typed IR.
+func Analyze(e xpath.Expr, env *Env) (Expr, error) {
+	if env == nil {
+		env = &Env{}
+	}
+	a := &analyzer{env: env}
+	out, err := a.expr(e)
+	if err != nil {
+		return nil, err
+	}
+	return Fold(out), nil
+}
+
+type analyzer struct {
+	env *Env
+	// predDepth tracks whether we are inside a predicate; position() and
+	// last() outside predicates refer to the top-level context, which the
+	// engine fixes at position 1 of 1 (documented in README).
+	predDepth int
+}
+
+func (a *analyzer) expr(e xpath.Expr) (Expr, error) {
+	switch n := e.(type) {
+	case *xpath.Number:
+		return &Literal{Val: xval.Num(n.Value)}, nil
+	case *xpath.Literal:
+		return &Literal{Val: xval.Str(n.Value)}, nil
+	case *xpath.VarRef:
+		if a.env.Vars != nil {
+			if _, ok := a.env.Vars[n.Name]; !ok {
+				return nil, errf("undeclared variable $%s", n.Name)
+			}
+		}
+		return &VarRef{Name: n.Name}, nil
+	case *xpath.Neg:
+		x, err := a.expr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{X: a.convert(x, TNumber)}, nil
+	case *xpath.Binary:
+		return a.binary(n)
+	case *xpath.Union:
+		u := &Union{}
+		for _, t := range n.Terms {
+			x, err := a.expr(t)
+			if err != nil {
+				return nil, err
+			}
+			if x.Type() != TNodeSet && x.Type() != TObject {
+				return nil, errf("union operand must be a node-set, got %s in %s", x.Type(), n)
+			}
+			u.Terms = append(u.Terms, x)
+		}
+		return u, nil
+	case *xpath.LocationPath:
+		return a.locationPath(n)
+	case *xpath.Filter:
+		return a.filter(n, nil)
+	case *xpath.Path:
+		steps, err := a.steps(n.Rel.Steps)
+		if err != nil {
+			return nil, err
+		}
+		if f, ok := n.Base.(*xpath.Filter); ok {
+			return a.filter(f, steps)
+		}
+		base, err := a.expr(n.Base)
+		if err != nil {
+			return nil, err
+		}
+		if base.Type() != TNodeSet && base.Type() != TObject {
+			return nil, errf("path step applied to %s value in %s", base.Type(), n)
+		}
+		return &Path{Base: base, Steps: steps}, nil
+	case *xpath.FuncCall:
+		return a.call(n)
+	}
+	return nil, errf("unsupported expression %T", e)
+}
+
+func (a *analyzer) binary(n *xpath.Binary) (Expr, error) {
+	l, err := a.expr(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := a.expr(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case xpath.OpOr, xpath.OpAnd:
+		or := n.Op == xpath.OpOr
+		lg := &Logic{Or: or}
+		for _, t := range []Expr{l, r} {
+			// Flatten nested same-operator logic for n-ary short circuit.
+			if sub, ok := t.(*Logic); ok && sub.Or == or {
+				lg.Terms = append(lg.Terms, sub.Terms...)
+				continue
+			}
+			lg.Terms = append(lg.Terms, a.convert(t, TBoolean))
+		}
+		return lg, nil
+	case xpath.OpAdd, xpath.OpSub, xpath.OpMul, xpath.OpDiv, xpath.OpMod:
+		op := map[xpath.BinOp]ArithOp{
+			xpath.OpAdd: OpAdd, xpath.OpSub: OpSub, xpath.OpMul: OpMul,
+			xpath.OpDiv: OpDiv, xpath.OpMod: OpMod,
+		}[n.Op]
+		return &Arith{Op: op, Left: a.convert(l, TNumber), Right: a.convert(r, TNumber)}, nil
+	default:
+		// Comparisons keep their operand types: node-set comparisons
+		// translate into semi-join/anti-join plans (paper section 3.6.2).
+		return &Compare{Op: n.Op.CompareOp(), Left: l, Right: r}, nil
+	}
+}
+
+// convert inserts an implicit conversion function call (paper section 3.3.1:
+// "All implicit conversions have also been added as function calls").
+func (a *analyzer) convert(e Expr, want Type) Expr {
+	if e.Type() == want {
+		return e
+	}
+	var fn *Function
+	switch want {
+	case TBoolean:
+		fn = libraryByName["boolean"]
+	case TNumber:
+		fn = libraryByName["number"]
+	case TString:
+		fn = libraryByName["string"]
+	default:
+		return e
+	}
+	return &Call{Fn: fn, Args: []Expr{e}}
+}
+
+// contextPath builds the explicit self::node() path used to expand
+// zero-argument context defaults like string().
+func contextPath() *Path {
+	return &Path{Steps: []*Step{{Axis: dom.AxisSelf, Test: dom.AnyNode}}}
+}
+
+func (a *analyzer) call(n *xpath.FuncCall) (Expr, error) {
+	fn, ok := LookupFunction(n.Name)
+	if !ok {
+		return nil, errf("unknown function %s()", n.Name)
+	}
+	args := n.Args
+	if len(args) == 0 && fn.CtxDefault {
+		// Expand e.g. string-length() to string-length(string(self::node())),
+		// applying the declared parameter conversion to the synthesized
+		// context argument.
+		var arg Expr = contextPath()
+		if want := fn.Params[0]; want != TObject && want != TNodeSet {
+			arg = a.convert(arg, want)
+		}
+		return &Call{Fn: fn, Args: []Expr{arg}}, nil
+	}
+	if len(args) < fn.MinArgs {
+		return nil, errf("%s() requires at least %d argument(s), got %d", fn.Name, fn.MinArgs, len(args))
+	}
+	if max := fn.MaxArgs(); max >= 0 && len(args) > max {
+		return nil, errf("%s() accepts at most %d argument(s), got %d", fn.Name, max, len(args))
+	}
+	if fn.Kind == FKPositional {
+		if a.predDepth == 0 {
+			// Top-level contexts are single-node: position()=last()=1.
+			return &Literal{Val: xval.Num(1)}, nil
+		}
+		return &Call{Fn: fn}, nil
+	}
+	out := &Call{Fn: fn}
+	for i, arg := range args {
+		x, err := a.expr(arg)
+		if err != nil {
+			return nil, err
+		}
+		want := TObject
+		if i < len(fn.Params) {
+			want = fn.Params[i]
+		} else if fn.Variadic {
+			want = fn.Params[len(fn.Params)-1]
+		}
+		switch want {
+		case TNodeSet:
+			if x.Type() != TNodeSet && x.Type() != TObject {
+				return nil, errf("%s() argument %d must be a node-set, got %s", fn.Name, i+1, x.Type())
+			}
+		case TObject:
+			// No conversion.
+		default:
+			x = a.convert(x, want)
+		}
+		out.Args = append(out.Args, x)
+	}
+	return out, nil
+}
+
+func (a *analyzer) locationPath(n *xpath.LocationPath) (Expr, error) {
+	steps, err := a.steps(n.Steps)
+	if err != nil {
+		return nil, err
+	}
+	return &Path{Absolute: n.Absolute, Steps: steps}, nil
+}
+
+func (a *analyzer) filter(n *xpath.Filter, steps []*Step) (Expr, error) {
+	base, err := a.expr(n.Primary)
+	if err != nil {
+		return nil, err
+	}
+	if base.Type() != TNodeSet && base.Type() != TObject {
+		return nil, errf("predicate applied to %s value in %s", base.Type(), n)
+	}
+	p := &Path{Base: base, Steps: steps}
+	for _, pred := range n.Preds {
+		pr, err := a.predicate(pred)
+		if err != nil {
+			return nil, err
+		}
+		p.FilterPreds = append(p.FilterPreds, pr)
+	}
+	return p, nil
+}
+
+func (a *analyzer) steps(in []*xpath.Step) ([]*Step, error) {
+	out := make([]*Step, 0, len(in))
+	for _, s := range in {
+		test, err := a.resolveTest(s.Test)
+		if err != nil {
+			return nil, err
+		}
+		st := &Step{Axis: s.Axis, Test: test}
+		for _, pred := range s.Preds {
+			pr, err := a.predicate(pred)
+			if err != nil {
+				return nil, err
+			}
+			st.Preds = append(st.Preds, pr)
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+func (a *analyzer) resolveTest(t xpath.NodeTest) (dom.NodeTest, error) {
+	out := dom.NodeTest{Kind: t.Kind, Local: t.Local, Target: t.Target}
+	if (t.Kind == dom.TestName || t.Kind == dom.TestNSName) && t.Prefix != "" {
+		if t.Prefix == "xml" {
+			out.URI = dom.XMLNamespaceURI
+			return out, nil
+		}
+		uri, ok := a.env.Namespaces[t.Prefix]
+		if !ok {
+			return out, errf("unbound namespace prefix %q in node test", t.Prefix)
+		}
+		out.URI = uri
+	}
+	return out, nil
+}
+
+// predicate normalizes one predicate expression into classified clauses
+// (sections 3.3 and 4.3.2). A top-level conjunction is split into clauses;
+// a whole-predicate number result is rewritten into a position() test
+// (spec section 2.4).
+func (a *analyzer) predicate(e xpath.Expr) (*Predicate, error) {
+	a.predDepth++
+	defer func() { a.predDepth-- }()
+
+	conjuncts := splitAnd(e)
+	pred := &Predicate{}
+	for _, c := range conjuncts {
+		x, err := a.expr(c)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Type() {
+		case TBoolean:
+			// Already boolean.
+		case TNumber:
+			if len(conjuncts) == 1 {
+				// Whole-predicate number: [n] means [position() = n].
+				x = &Compare{Op: xval.OpEq, Left: &Call{Fn: libraryByName["position"]}, Right: x}
+			} else {
+				x = a.convert(x, TBoolean)
+			}
+		case TObject:
+			// Unknown until runtime; number results compare against the
+			// context position (only meaningful for a sole conjunct).
+			if len(conjuncts) == 1 {
+				x = &Call{Fn: libraryByName["__pred-truth"], Args: []Expr{x, &Call{Fn: libraryByName["position"]}}}
+			} else {
+				x = a.convert(x, TBoolean)
+			}
+		default:
+			x = a.convert(x, TBoolean)
+		}
+		cl := &Clause{Expr: x}
+		classifyClause(cl)
+		pred.Clauses = append(pred.Clauses, cl)
+		pred.UsesPosition = pred.UsesPosition || cl.UsesPosition
+		pred.UsesLast = pred.UsesLast || cl.UsesLast
+	}
+	return pred, nil
+}
+
+// splitAnd splits a top-level conjunction into its conjuncts.
+func splitAnd(e xpath.Expr) []xpath.Expr {
+	if b, ok := e.(*xpath.Binary); ok && b.Op == xpath.OpAnd {
+		return append(splitAnd(b.Left), splitAnd(b.Right)...)
+	}
+	return []xpath.Expr{e}
+}
+
+// classifyClause computes the clause flags and the cost estimate of the
+// simple instruction-count model from section 4.3.2.
+func classifyClause(cl *Clause) {
+	cost := 0
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		cost++
+		switch n := e.(type) {
+		case *Path:
+			if n.Base == nil && !n.Absolute {
+				cl.HasNestedPath = true
+			}
+			if n.Base != nil {
+				cl.HasNestedPath = true // filter/path over an expression re-evaluated per context
+				walk(n.Base)
+			}
+			for _, s := range n.Steps {
+				cost += stepCost(s)
+			}
+			// Step and filter predicates establish their own contexts; we
+			// neither count their position()/last() uses nor descend for
+			// flags, but their presence adds cost.
+			for _, s := range n.Steps {
+				cost += 4 * len(s.Preds)
+			}
+			cost += 4 * len(n.FilterPreds)
+		case *Call:
+			switch n.Fn.ID {
+			case FnPosition:
+				cl.UsesPosition = true
+			case FnLast:
+				cl.UsesLast = true
+			case FnCount, FnSum, FnID:
+				cost += 20
+			}
+			for _, x := range n.Args {
+				walk(x)
+			}
+		case *Arith:
+			walk(n.Left)
+			walk(n.Right)
+		case *Neg:
+			walk(n.X)
+		case *Compare:
+			walk(n.Left)
+			walk(n.Right)
+		case *Logic:
+			for _, t := range n.Terms {
+				walk(t)
+			}
+		case *Union:
+			for _, t := range n.Terms {
+				walk(t)
+			}
+		}
+	}
+	walk(cl.Expr)
+	cl.Cost = cost
+	cl.Expensive = cost >= expensiveCostThreshold
+}
+
+// stepCost charges navigation work per step; subtree- and document-ranging
+// axes are charged more.
+func stepCost(s *Step) int {
+	switch s.Axis {
+	case dom.AxisDescendant, dom.AxisDescendantOrSelf, dom.AxisFollowing, dom.AxisPreceding:
+		return 30
+	default:
+		return 8
+	}
+}
+
+// expensiveCostThreshold is the boundary between cheap(p) and exp(p) in the
+// cost model of section 4.3.2.
+const expensiveCostThreshold = 40

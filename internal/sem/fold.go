@@ -1,0 +1,141 @@
+package sem
+
+import (
+	"natix/internal/xval"
+)
+
+// Fold performs the constant-folding rewrite (compiler step 4 in paper
+// section 5.1): pure scalar subtrees whose operands are literals are
+// evaluated at compile time. Node-sets, positional functions and variables
+// block folding.
+func Fold(e Expr) Expr {
+	switch n := e.(type) {
+	case *Literal, *VarRef:
+		return e
+	case *Neg:
+		x := Fold(n.X)
+		if lit, ok := literalOf(x); ok {
+			return &Literal{Val: xval.Num(-lit.Number())}
+		}
+		return &Neg{X: x}
+	case *Arith:
+		l, r := Fold(n.Left), Fold(n.Right)
+		if ll, ok := literalOf(l); ok {
+			if rl, ok := literalOf(r); ok {
+				return &Literal{Val: xval.Num(n.Op.Apply(ll.Number(), rl.Number()))}
+			}
+		}
+		return &Arith{Op: n.Op, Left: l, Right: r}
+	case *Compare:
+		l, r := Fold(n.Left), Fold(n.Right)
+		if ll, ok := literalOf(l); ok {
+			if rl, ok := literalOf(r); ok {
+				return &Literal{Val: xval.Bool(xval.Compare(n.Op, ll, rl))}
+			}
+		}
+		return &Compare{Op: n.Op, Left: l, Right: r}
+	case *Logic:
+		return foldLogic(n)
+	case *Union:
+		out := &Union{Terms: make([]Expr, len(n.Terms))}
+		for i, t := range n.Terms {
+			out.Terms[i] = Fold(t)
+		}
+		return out
+	case *Call:
+		return foldCall(n)
+	case *Path:
+		return foldPath(n)
+	}
+	return e
+}
+
+func literalOf(e Expr) (xval.Value, bool) {
+	if l, ok := e.(*Literal); ok {
+		return l.Val, true
+	}
+	return xval.Value{}, false
+}
+
+func foldLogic(n *Logic) Expr {
+	out := &Logic{Or: n.Or}
+	for _, t := range n.Terms {
+		f := Fold(t)
+		if lit, ok := literalOf(f); ok && lit.Kind == xval.KindBoolean {
+			if lit.B == n.Or {
+				// true in an or / false in an and decides the result;
+				// XPath expressions are side-effect free, so dropping the
+				// remaining terms is safe.
+				return &Literal{Val: xval.Bool(n.Or)}
+			}
+			continue // neutral element, drop
+		}
+		out.Terms = append(out.Terms, f)
+	}
+	switch len(out.Terms) {
+	case 0:
+		return &Literal{Val: xval.Bool(!n.Or)}
+	case 1:
+		return out.Terms[0]
+	}
+	return out
+}
+
+func foldCall(n *Call) Expr {
+	out := &Call{Fn: n.Fn, Args: make([]Expr, len(n.Args))}
+	allLit := true
+	lits := make([]xval.Value, len(n.Args))
+	for i, a := range n.Args {
+		f := Fold(a)
+		out.Args[i] = f
+		if lit, ok := literalOf(f); ok {
+			lits[i] = lit
+		} else {
+			allLit = false
+		}
+	}
+	if allLit && n.Fn.Kind == FKSimple && n.Fn.ID != FnPredTruth {
+		if v, ok := EvalSimpleString(n.Fn.ID, lits); ok {
+			return &Literal{Val: v}
+		}
+	}
+	return out
+}
+
+func foldPath(n *Path) Expr {
+	out := &Path{Absolute: n.Absolute, Steps: make([]*Step, len(n.Steps))}
+	if n.Base != nil {
+		out.Base = Fold(n.Base)
+	}
+	out.FilterPreds = foldPredicates(n.FilterPreds)
+	for i, s := range n.Steps {
+		out.Steps[i] = &Step{Axis: s.Axis, Test: s.Test, Preds: foldPredicates(s.Preds)}
+	}
+	return out
+}
+
+func foldPredicates(preds []*Predicate) []*Predicate {
+	if preds == nil {
+		return nil
+	}
+	out := make([]*Predicate, 0, len(preds))
+	for _, p := range preds {
+		fp := &Predicate{}
+		for _, c := range p.Clauses {
+			folded := Fold(c.Expr)
+			if lit, ok := literalOf(folded); ok && lit.Kind == xval.KindBoolean && lit.B {
+				continue // [... and true() and ...]: drop the clause
+			}
+			fc := &Clause{Expr: folded}
+			classifyClause(fc)
+			fp.Clauses = append(fp.Clauses, fc)
+			fp.UsesPosition = fp.UsesPosition || fc.UsesPosition
+			fp.UsesLast = fp.UsesLast || fc.UsesLast
+		}
+		if len(fp.Clauses) == 0 {
+			continue // predicate folded to true: drop it entirely
+		}
+		out = append(out, fp)
+	}
+	return out
+}

@@ -1,0 +1,411 @@
+package sem
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"natix/internal/dom"
+	"natix/internal/xpath"
+	"natix/internal/xval"
+)
+
+func analyze(t *testing.T, expr string) Expr {
+	t.Helper()
+	ast, err := xpath.Parse(expr)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	out, err := Analyze(ast, &Env{Namespaces: map[string]string{"p": "urn:p"}})
+	if err != nil {
+		t.Fatalf("analyze %q: %v", expr, err)
+	}
+	return out
+}
+
+func analyzeErr(t *testing.T, expr string) error {
+	t.Helper()
+	ast, err := xpath.Parse(expr)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	_, err = Analyze(ast, &Env{Namespaces: map[string]string{"p": "urn:p"}})
+	if err == nil {
+		t.Fatalf("analyze %q: expected error", expr)
+	}
+	return err
+}
+
+func TestAnalyzeTypes(t *testing.T) {
+	tests := []struct {
+		expr string
+		want Type
+	}{
+		{"1 + 2", TNumber},
+		{"'a'", TString},
+		{"a/b", TNodeSet},
+		{"a | b", TNodeSet},
+		{"a = b", TBoolean},
+		{"count(a)", TNumber},
+		{"string(a)", TString},
+		{"not(a)", TBoolean},
+		{"$v", TObject},
+		{"-a", TNumber},
+		{"a and b", TBoolean},
+		{"id('x')", TNodeSet},
+		{"concat('a', 'b', 'c')", TString},
+	}
+	for _, tc := range tests {
+		got := analyze(t, tc.expr)
+		if got.Type() != tc.want {
+			t.Errorf("%q: type %s, want %s", tc.expr, got.Type(), tc.want)
+		}
+	}
+}
+
+func TestImplicitConversions(t *testing.T) {
+	// Arithmetic over node-sets inserts number().
+	e := analyze(t, "a + 1")
+	ar, ok := e.(*Arith)
+	if !ok {
+		t.Fatalf("expected Arith, got %T", e)
+	}
+	call, ok := ar.Left.(*Call)
+	if !ok || call.Fn.ID != FnNumber {
+		t.Errorf("left operand = %s, want number(...) conversion", ar.Left)
+	}
+	// and/or convert operands to boolean.
+	e2 := analyze(t, "a and b")
+	lg := e2.(*Logic)
+	if c, ok := lg.Terms[0].(*Call); !ok || c.Fn.ID != FnBoolean {
+		t.Errorf("logic term 0 = %s, want boolean(...)", lg.Terms[0])
+	}
+	// Comparisons do NOT convert node-set operands.
+	e3 := analyze(t, "a = 1")
+	cmp := e3.(*Compare)
+	if _, ok := cmp.Left.(*Path); !ok {
+		t.Errorf("comparison left = %T, want *Path", cmp.Left)
+	}
+	// string-arg functions convert node-sets to strings.
+	e4 := analyze(t, "contains(a, b)")
+	c4 := e4.(*Call)
+	for i, arg := range c4.Args {
+		if c, ok := arg.(*Call); !ok || c.Fn.ID != FnString {
+			t.Errorf("contains arg %d = %s, want string(...)", i, arg)
+		}
+	}
+}
+
+func TestContextDefaults(t *testing.T) {
+	for _, expr := range []string{"string()", "number()", "string-length()", "normalize-space()", "name()", "local-name()", "namespace-uri()"} {
+		e := analyze(t, expr)
+		call, ok := e.(*Call)
+		if !ok {
+			t.Fatalf("%q: got %T", expr, e)
+		}
+		if len(call.Args) != 1 {
+			t.Fatalf("%q: %d args, want 1 (context default)", expr, len(call.Args))
+		}
+		arg := call.Args[0]
+		// Typed parameters wrap the context path in a conversion call.
+		if conv, ok := arg.(*Call); ok && (conv.Fn.ID == FnString || conv.Fn.ID == FnNumber) {
+			arg = conv.Args[0]
+		}
+		p, ok := arg.(*Path)
+		if !ok || len(p.Steps) != 1 || p.Steps[0].Axis != dom.AxisSelf {
+			t.Errorf("%q: arg = %s, want self::node()", expr, call.Args[0])
+		}
+	}
+}
+
+func TestPredicateNormalization(t *testing.T) {
+	// Number predicate becomes position() = n.
+	e := analyze(t, "a[3]")
+	p := e.(*Path)
+	pred := p.Steps[0].Preds[0]
+	if !pred.UsesPosition || pred.UsesLast {
+		t.Errorf("a[3]: UsesPosition=%v UsesLast=%v", pred.UsesPosition, pred.UsesLast)
+	}
+	cmp, ok := pred.Clauses[0].Expr.(*Compare)
+	if !ok {
+		t.Fatalf("a[3] clause = %T", pred.Clauses[0].Expr)
+	}
+	if c, ok := cmp.Left.(*Call); !ok || c.Fn.ID != FnPosition {
+		t.Errorf("a[3] clause = %s, want position() = 3", cmp)
+	}
+
+	// last() flags.
+	e2 := analyze(t, "a[last()]")
+	pred2 := e2.(*Path).Steps[0].Preds[0]
+	if !pred2.UsesLast || !pred2.UsesPosition {
+		t.Errorf("a[last()]: UsesPosition=%v UsesLast=%v (rewritten to position()=last())",
+			pred2.UsesPosition, pred2.UsesLast)
+	}
+
+	// Conjunction splits into clauses.
+	e3 := analyze(t, "a[b and position() < 2 and @k]")
+	pred3 := e3.(*Path).Steps[0].Preds[0]
+	if len(pred3.Clauses) != 3 {
+		t.Fatalf("clauses = %d, want 3", len(pred3.Clauses))
+	}
+	if !pred3.Clauses[0].HasNestedPath {
+		t.Error("clause b should have nested path")
+	}
+	if !pred3.Clauses[1].UsesPosition {
+		t.Error("clause position()<2 should use position")
+	}
+	if pred3.Clauses[1].HasNestedPath {
+		t.Error("clause position()<2 has no nested path")
+	}
+	if !pred3.UsesPosition || pred3.UsesLast {
+		t.Errorf("pred flags: pos=%v last=%v", pred3.UsesPosition, pred3.UsesLast)
+	}
+
+	// Node-set clause gets boolean() conversion.
+	cl := pred3.Clauses[0]
+	if c, ok := cl.Expr.(*Call); !ok || c.Fn.ID != FnBoolean {
+		t.Errorf("node-set clause = %s, want boolean(...)", cl.Expr)
+	}
+
+	// [2 and b]: the number conjunct is boolean-converted, NOT a position
+	// test (the position rule applies to whole-predicate numbers only).
+	e4 := analyze(t, "a[2 and b]")
+	pred4 := e4.(*Path).Steps[0].Preds[0]
+	if pred4.UsesPosition {
+		t.Error("[2 and b] must not use position()")
+	}
+
+	// Variable predicate: runtime truth test against position.
+	e5 := analyze(t, "a[$v]")
+	pred5 := e5.(*Path).Steps[0].Preds[0]
+	if c, ok := pred5.Clauses[0].Expr.(*Call); !ok || c.Fn.ID != FnPredTruth {
+		t.Errorf("[$v] clause = %s, want __pred-truth", pred5.Clauses[0].Expr)
+	}
+	if !pred5.UsesPosition {
+		t.Error("[$v] needs the position counter at runtime")
+	}
+}
+
+func TestNestedPredicateContexts(t *testing.T) {
+	// position() inside the nested path's predicate belongs to the inner
+	// context: the outer predicate must not be flagged.
+	e := analyze(t, "a[b[position() = 2]]")
+	pred := e.(*Path).Steps[0].Preds[0]
+	if pred.UsesPosition {
+		t.Error("outer predicate wrongly flagged UsesPosition")
+	}
+	if !pred.Clauses[0].HasNestedPath {
+		t.Error("outer predicate should have nested path")
+	}
+	inner := findStep(t, pred.Clauses[0].Expr, "b").Preds[0]
+	if !inner.UsesPosition {
+		t.Error("inner predicate should use position")
+	}
+}
+
+// findStep digs a Path step with the given local name out of a clause.
+func findStep(t *testing.T, e Expr, local string) *Step {
+	t.Helper()
+	var found *Step
+	var walk func(Expr)
+	walk = func(x Expr) {
+		switch n := x.(type) {
+		case *Path:
+			for _, s := range n.Steps {
+				if s.Test.Local == local {
+					found = s
+				}
+			}
+		case *Call:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		case *Compare:
+			walk(n.Left)
+			walk(n.Right)
+		case *Logic:
+			for _, term := range n.Terms {
+				walk(term)
+			}
+		}
+	}
+	walk(e)
+	if found == nil {
+		t.Fatalf("step %q not found in %s", local, e)
+	}
+	return found
+}
+
+func TestExpensiveClassification(t *testing.T) {
+	e := analyze(t, "a[@k = '1' and count(descendant::b/following::c) = 10]")
+	pred := e.(*Path).Steps[0].Preds[0]
+	if len(pred.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(pred.Clauses))
+	}
+	if pred.Clauses[0].Expensive {
+		t.Error("@k='1' should be cheap")
+	}
+	if !pred.Clauses[1].Expensive {
+		t.Error("count(descendant::b/following::c)=10 should be expensive")
+	}
+	if pred.Clauses[0].Cost >= pred.Clauses[1].Cost {
+		t.Errorf("cost model: cheap=%d exp=%d", pred.Clauses[0].Cost, pred.Clauses[1].Cost)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	for _, expr := range []string{
+		"unknown-fn()",
+		"count()",
+		"count(1)",
+		"count(a, b)",
+		"not()",
+		"translate('a','b')",
+		"1 | a",
+		"'str' | a",
+		"q:a",         // unbound prefix
+		"q:*",         // unbound prefix wildcard
+		"substring()", // no ctx default
+	} {
+		analyzeErr(t, expr)
+	}
+	// Declared variables restrict references.
+	ast := xpath.MustParse("$undeclared")
+	if _, err := Analyze(ast, &Env{Vars: map[string]struct{}{"x": {}}}); err == nil {
+		t.Error("undeclared variable accepted")
+	}
+	if _, err := Analyze(ast, nil); err != nil {
+		t.Errorf("nil env should accept any variable: %v", err)
+	}
+}
+
+func TestNamespaceResolution(t *testing.T) {
+	e := analyze(t, "p:a/p:*")
+	p := e.(*Path)
+	if p.Steps[0].Test.URI != "urn:p" || p.Steps[1].Test.URI != "urn:p" {
+		t.Errorf("resolved URIs: %q %q", p.Steps[0].Test.URI, p.Steps[1].Test.URI)
+	}
+	e2 := analyze(t, "xml:lang")
+	if got := e2.(*Path).Steps[0].Test.URI; got != dom.XMLNamespaceURI {
+		t.Errorf("xml prefix resolved to %q", got)
+	}
+}
+
+func TestTopLevelPositionFoldsToOne(t *testing.T) {
+	e := analyze(t, "position()")
+	lit, ok := e.(*Literal)
+	if !ok || lit.Val.N != 1 {
+		t.Errorf("top-level position() = %s, want 1", e)
+	}
+}
+
+func TestFold(t *testing.T) {
+	tests := []struct {
+		expr string
+		want xval.Value
+	}{
+		{"1 + 2 * 3", xval.Num(7)},
+		{"-(2 + 3)", xval.Num(-5)},
+		{"10 div 4", xval.Num(2.5)},
+		{"7 mod 3", xval.Num(1)},
+		{"-7 mod 3", xval.Num(-1)},
+		{"1 div 0", xval.Num(math.Inf(1))},
+		{"-1 div 0", xval.Num(math.Inf(-1))},
+		{"concat('a', 'b')", xval.Str("ab")},
+		{"contains('hello', 'ell')", xval.Bool(true)},
+		{"starts-with('hello', 'he')", xval.Bool(true)},
+		{"substring('12345', 2, 3)", xval.Str("234")},
+		{"substring('12345', 1.5, 2.6)", xval.Str("234")},
+		{"substring('12345', 0 div 0, 3)", xval.Str("")},
+		{"substring('12345', -2)", xval.Str("12345")},
+		{"substring-before('a=b', '=')", xval.Str("a")},
+		{"substring-after('a=b', '=')", xval.Str("b")},
+		{"string-length('abcd')", xval.Num(4)},
+		{"normalize-space('  a  b ')", xval.Str("a b")},
+		{"translate('bar', 'abc', 'ABC')", xval.Str("BAr")},
+		{"translate('--aaa--', 'a-', 'A')", xval.Str("AAA")},
+		{"true() and false()", xval.Bool(false)},
+		{"true() or false()", xval.Bool(true)},
+		{"not(true())", xval.Bool(false)},
+		{"1 = 1", xval.Bool(true)},
+		{"1 < 2 ", xval.Bool(true)},
+		{"'1' = 1", xval.Bool(true)},
+		{"floor(2.7)", xval.Num(2)},
+		{"ceiling(2.2)", xval.Num(3)},
+		{"round(2.5)", xval.Num(3)},
+		{"round(-2.5)", xval.Num(-2)},
+		{"number('12')", xval.Num(12)},
+		{"number('x')", xval.Num(math.NaN())},
+		{"boolean('x')", xval.Bool(true)},
+		{"string(1 div 0)", xval.Str("Infinity")},
+	}
+	for _, tc := range tests {
+		e := analyze(t, tc.expr)
+		lit, ok := e.(*Literal)
+		if !ok {
+			t.Errorf("%q did not fold: %s", tc.expr, e)
+			continue
+		}
+		if lit.Val.Kind != tc.want.Kind {
+			t.Errorf("%q folded to %s kind, want %s", tc.expr, lit.Val.Kind, tc.want.Kind)
+			continue
+		}
+		switch tc.want.Kind {
+		case xval.KindNumber:
+			if !(lit.Val.N == tc.want.N || (math.IsNaN(lit.Val.N) && math.IsNaN(tc.want.N))) {
+				t.Errorf("%q = %v, want %v", tc.expr, lit.Val.N, tc.want.N)
+			}
+		case xval.KindString:
+			if lit.Val.S != tc.want.S {
+				t.Errorf("%q = %q, want %q", tc.expr, lit.Val.S, tc.want.S)
+			}
+		case xval.KindBoolean:
+			if lit.Val.B != tc.want.B {
+				t.Errorf("%q = %v, want %v", tc.expr, lit.Val.B, tc.want.B)
+			}
+		}
+	}
+}
+
+func TestFoldShortCircuit(t *testing.T) {
+	// Non-constant terms survive, constants decide or vanish.
+	e := analyze(t, "a or true()")
+	if lit, ok := e.(*Literal); !ok || !lit.Val.B {
+		t.Errorf("a or true() = %s, want true", e)
+	}
+	e2 := analyze(t, "a and true()")
+	if _, ok := e2.(*Literal); ok {
+		t.Errorf("a and true() folded to literal, want boolean(a)")
+	}
+	e3 := analyze(t, "a and false()")
+	if lit, ok := e3.(*Literal); !ok || lit.Val.B {
+		t.Errorf("a and false() = %s, want false", e3)
+	}
+}
+
+func TestFoldDropsTruePredicates(t *testing.T) {
+	e := analyze(t, "a[true()]")
+	p := e.(*Path)
+	if len(p.Steps[0].Preds) != 0 {
+		t.Errorf("a[true()] kept %d predicates", len(p.Steps[0].Preds))
+	}
+	e2 := analyze(t, "a[1 = 1 and b]")
+	preds := e2.(*Path).Steps[0].Preds
+	if len(preds) != 1 || len(preds[0].Clauses) != 1 {
+		t.Errorf("a[1=1 and b]: preds=%d", len(preds))
+	}
+}
+
+func TestRenderStable(t *testing.T) {
+	for _, expr := range []string{
+		"/child::a/descendant::b[position() = last()]",
+		"count(a[@k]) + sum(b)",
+		"a[b = 'x' or c]",
+	} {
+		e := analyze(t, expr)
+		s := e.String()
+		if s == "" || !strings.Contains(s, "::") && !strings.Contains(s, "(") {
+			t.Errorf("%q rendered to %q", expr, s)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+// Package sem implements steps 2-4 of the paper's compilation pipeline
+// (section 5.1): normalization (predicates split into conjunctive clauses,
+// classified and ordered per sections 3.3 and 4.3), semantic analysis
+// (name/function resolution, typing, implicit conversions inserted as
+// function calls), and the constant-folding rewrite. Its output is a typed
+// intermediate representation consumed by the algebraic translation and by
+// the baseline interpreters.
+package sem
+
+import (
+	"fmt"
+	"strings"
+
+	"natix/internal/dom"
+	"natix/internal/xval"
+)
+
+// Type is the static type of an expression: the four XPath basic types plus
+// TObject for values not known until runtime (variables).
+type Type uint8
+
+// Static types.
+const (
+	TNodeSet Type = Type(xval.KindNodeSet)
+	TBoolean Type = Type(xval.KindBoolean)
+	TNumber  Type = Type(xval.KindNumber)
+	TString  Type = Type(xval.KindString)
+	TObject  Type = 4
+)
+
+// String returns the XPath name of the type.
+func (t Type) String() string {
+	if t == TObject {
+		return "object"
+	}
+	return xval.Kind(t).String()
+}
+
+// Kind converts a concrete static type to the corresponding value kind.
+// It panics on TObject.
+func (t Type) Kind() xval.Kind {
+	if t == TObject {
+		panic("sem: TObject has no value kind")
+	}
+	return xval.Kind(t)
+}
+
+// Expr is a typed, normalized expression.
+type Expr interface {
+	fmt.Stringer
+	Type() Type
+}
+
+// Path is the unified representation of location paths, filter expressions
+// and general path expressions (paper sections 3.1, 3.4, 3.5):
+//
+//   - a location path has Base == nil and Steps; Absolute selects the root
+//     as initial context,
+//   - a filter expression e[p1]...[ph] has Base = e and FilterPreds,
+//   - a general path expression e/π has Base (possibly with FilterPreds)
+//     and Steps.
+type Path struct {
+	Absolute    bool
+	Base        Expr // nil for plain location paths
+	FilterPreds []*Predicate
+	Steps       []*Step
+}
+
+// Type implements Expr: paths always produce node-sets.
+func (*Path) Type() Type { return TNodeSet }
+
+// Step is a location step with a resolved node test and normalized
+// predicates.
+type Step struct {
+	Axis  dom.Axis
+	Test  dom.NodeTest
+	Preds []*Predicate
+}
+
+// Predicate is one [...] predicate, normalized into a conjunction of
+// clauses classified per sections 3.3 and 4.3.2.
+type Predicate struct {
+	Clauses []*Clause
+	// UsesPosition/UsesLast aggregate the clause flags: they decide whether
+	// the translation adds the position-counting map and the Tmp^cs
+	// operator (sections 3.3.3, 3.3.4).
+	UsesPosition bool
+	UsesLast     bool
+}
+
+// Clause is one conjunct of a predicate.
+type Clause struct {
+	Expr Expr // boolean-valued after normalization
+	// UsesPosition/UsesLast report direct uses of position()/last() in
+	// this clause (not inside nested predicates, which have their own
+	// context).
+	UsesPosition bool
+	UsesLast     bool
+	// HasNestedPath reports a relative path evaluated from the predicate's
+	// context node; the translation must rebind cn (section 3.3.2).
+	HasNestedPath bool
+	// Cost is the instruction-count estimate of section 4.3.2; Expensive
+	// classifies the clause into exp(p) and routes it through the
+	// materializing selection.
+	Cost      int
+	Expensive bool
+}
+
+// Arith is a numeric operation (+ - * div mod); operands have been wrapped
+// in number() conversions where needed.
+type Arith struct {
+	Op          ArithOp
+	Left, Right Expr
+}
+
+// ArithOp is an arithmetic operator.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+var arithNames = [...]string{"+", "-", "*", "div", "mod"}
+
+// String returns the XPath spelling.
+func (op ArithOp) String() string { return arithNames[op] }
+
+// Apply evaluates the operator on two numbers. div and mod follow IEEE 754
+// (mod has the sign of the dividend, like Go's math.Mod and XPath).
+func (op ArithOp) Apply(a, b float64) float64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpDiv:
+		return a / b
+	default:
+		return fmod(a, b)
+	}
+}
+
+// Type implements Expr.
+func (*Arith) Type() Type { return TNumber }
+
+// Neg is unary minus.
+type Neg struct {
+	X Expr
+}
+
+// Type implements Expr.
+func (*Neg) Type() Type { return TNumber }
+
+// Compare is a comparison; operands keep their static types because
+// node-set comparisons translate into semi-join/anti-join plans (paper
+// section 3.6.2) rather than scalar code.
+type Compare struct {
+	Op          xval.CompareOp
+	Left, Right Expr
+}
+
+// Type implements Expr.
+func (*Compare) Type() Type { return TBoolean }
+
+// Logic is a variadic and/or with short-circuit evaluation; operands have
+// been wrapped in boolean() conversions where needed.
+type Logic struct {
+	Or    bool
+	Terms []Expr
+}
+
+// Type implements Expr.
+func (*Logic) Type() Type { return TBoolean }
+
+// Union is e1 | e2 | ... over node-sets.
+type Union struct {
+	Terms []Expr
+}
+
+// Type implements Expr.
+func (*Union) Type() Type { return TNodeSet }
+
+// Literal is a constant of any basic type (string and number literals from
+// the source; booleans and folded values from rewriting).
+type Literal struct {
+	Val xval.Value
+}
+
+// Type implements Expr.
+func (l *Literal) Type() Type { return Type(l.Val.Kind) }
+
+// VarRef is a $ variable; its value kind is unknown until runtime.
+type VarRef struct {
+	Name string
+}
+
+// Type implements Expr.
+func (*VarRef) Type() Type { return TObject }
+
+// Call is a resolved function call. Implicit conversions have been applied
+// to the arguments; zero-argument context defaults (e.g. string()) have
+// been expanded to an explicit self::node() path argument.
+type Call struct {
+	Fn   *Function
+	Args []Expr
+}
+
+// Type implements Expr.
+func (c *Call) Type() Type { return c.Fn.Ret }
+
+// ---- rendering ----
+
+// String implements fmt.Stringer.
+func (p *Path) String() string {
+	var sb strings.Builder
+	if p.Base != nil {
+		sb.WriteString(p.Base.String())
+		for _, pr := range p.FilterPreds {
+			sb.WriteString(pr.String())
+		}
+		if len(p.Steps) > 0 {
+			sb.WriteByte('/')
+		}
+	} else if p.Absolute {
+		sb.WriteByte('/')
+	}
+	for i, s := range p.Steps {
+		if i > 0 {
+			sb.WriteByte('/')
+		}
+		sb.WriteString(s.String())
+	}
+	return sb.String()
+}
+
+// String implements fmt.Stringer.
+func (s *Step) String() string {
+	var sb strings.Builder
+	sb.WriteString(s.Axis.String())
+	sb.WriteString("::")
+	sb.WriteString(s.Test.String())
+	for _, p := range s.Preds {
+		sb.WriteString(p.String())
+	}
+	return sb.String()
+}
+
+// String implements fmt.Stringer.
+func (p *Predicate) String() string {
+	parts := make([]string, len(p.Clauses))
+	for i, c := range p.Clauses {
+		parts[i] = c.Expr.String()
+	}
+	return "[" + strings.Join(parts, " and ") + "]"
+}
+
+// String implements fmt.Stringer.
+func (e *Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.Left, e.Op, e.Right)
+}
+
+// String implements fmt.Stringer.
+func (e *Neg) String() string { return fmt.Sprintf("-(%s)", e.X) }
+
+// String implements fmt.Stringer.
+func (e *Compare) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.Left, e.Op, e.Right)
+}
+
+// String implements fmt.Stringer.
+func (e *Logic) String() string {
+	op := " and "
+	if e.Or {
+		op = " or "
+	}
+	parts := make([]string, len(e.Terms))
+	for i, t := range e.Terms {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, op) + ")"
+}
+
+// String implements fmt.Stringer.
+func (e *Union) String() string {
+	parts := make([]string, len(e.Terms))
+	for i, t := range e.Terms {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, " | ") + ")"
+}
+
+// String implements fmt.Stringer.
+func (e *Literal) String() string {
+	if e.Val.Kind == xval.KindString {
+		return "'" + e.Val.S + "'"
+	}
+	return e.Val.String()
+}
+
+// String implements fmt.Stringer.
+func (e *VarRef) String() string { return "$" + e.Name }
+
+// String implements fmt.Stringer.
+func (e *Call) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Fn.Name + "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,163 @@
+package store
+
+import (
+	"fmt"
+	"io"
+)
+
+// BufferStats counts buffer manager events.
+type BufferStats struct {
+	// Hits are page requests satisfied from the buffer.
+	Hits int64
+	// Misses are page requests that had to read from the file.
+	Misses int64
+	// Evictions counts frames reclaimed from the LRU list.
+	Evictions int64
+}
+
+// frame is one buffered page.
+type frame struct {
+	page uint32
+	data []byte
+	pins int
+	// LRU list links; only unpinned frames are on the list.
+	prev, next *frame
+}
+
+// buffer is the page buffer manager: a fixed number of page frames with an
+// LRU replacement policy over unpinned frames (paper section 5.2.2: "the
+// persistent representation of the documents in the Natix page buffer").
+type buffer struct {
+	file     io.ReaderAt
+	pageSize int
+	capacity int
+
+	frames map[uint32]*frame
+	// lruHead/lruTail delimit the unpinned LRU list; head is most recent.
+	lruHead, lruTail *frame
+	free             []*frame
+	stats            BufferStats
+}
+
+func newBuffer(file io.ReaderAt, pageSize, capacity int) *buffer {
+	// At least two frames: the document keeps one record page pinned, and
+	// text reads need a second frame.
+	if capacity < 2 {
+		capacity = 2
+	}
+	b := &buffer{
+		file:     file,
+		pageSize: pageSize,
+		capacity: capacity,
+		frames:   make(map[uint32]*frame, capacity),
+	}
+	return b
+}
+
+// fix pins the page into the buffer and returns its frame. The caller must
+// unfix it; pins are short (one accessor call).
+func (b *buffer) fix(page uint32) (*frame, error) {
+	if f, ok := b.frames[page]; ok {
+		b.stats.Hits++
+		if f.pins == 0 {
+			b.lruRemove(f)
+		}
+		f.pins++
+		return f, nil
+	}
+	b.stats.Misses++
+	f, err := b.victim()
+	if err != nil {
+		return nil, err
+	}
+	n, err := b.file.ReadAt(f.data, int64(page)*int64(b.pageSize))
+	if err != nil && (err != io.EOF || n == 0) {
+		b.free = append(b.free, f)
+		return nil, fmt.Errorf("store: read page %d: %w", page, err)
+	}
+	for i := n; i < len(f.data); i++ {
+		f.data[i] = 0 // final partial page
+	}
+	f.page = page
+	f.pins = 1
+	b.frames[page] = f
+	return f, nil
+}
+
+// unfix releases one pin; at zero pins the frame joins the LRU list.
+func (b *buffer) unfix(f *frame) {
+	f.pins--
+	if f.pins == 0 {
+		b.lruPush(f)
+	}
+}
+
+// victim produces an empty frame: from the free pool, by allocation while
+// under capacity, or by evicting the least recently used unpinned frame.
+func (b *buffer) victim() (*frame, error) {
+	if n := len(b.free); n > 0 {
+		f := b.free[n-1]
+		b.free = b.free[:n-1]
+		return f, nil
+	}
+	if len(b.frames) < b.capacity {
+		return &frame{data: make([]byte, b.pageSize)}, nil
+	}
+	f := b.lruTail
+	if f == nil {
+		return nil, fmt.Errorf("store: buffer exhausted (all %d frames pinned)", b.capacity)
+	}
+	b.lruRemove(f)
+	delete(b.frames, f.page)
+	b.stats.Evictions++
+	return f, nil
+}
+
+func (b *buffer) lruPush(f *frame) {
+	f.prev = nil
+	f.next = b.lruHead
+	if b.lruHead != nil {
+		b.lruHead.prev = f
+	}
+	b.lruHead = f
+	if b.lruTail == nil {
+		b.lruTail = f
+	}
+}
+
+func (b *buffer) lruRemove(f *frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		b.lruHead = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		b.lruTail = f.prev
+	}
+	f.prev, f.next = nil, nil
+}
+
+// readStream copies length bytes starting at byte offset off of the stream
+// beginning at startPage, crossing page boundaries through the buffer.
+func (b *buffer) readStream(startPage uint32, off uint64, length int) ([]byte, error) {
+	out := make([]byte, 0, length)
+	for length > 0 {
+		page := startPage + uint32(off/uint64(b.pageSize))
+		inPage := int(off % uint64(b.pageSize))
+		f, err := b.fix(page)
+		if err != nil {
+			return nil, err
+		}
+		n := b.pageSize - inPage
+		if n > length {
+			n = length
+		}
+		out = append(out, f.data[inPage:inPage+n]...)
+		b.unfix(f)
+		off += uint64(n)
+		length -= n
+	}
+	return out, nil
+}

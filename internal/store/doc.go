@@ -1,0 +1,252 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"natix/internal/dom"
+)
+
+// Options configure how a store file is opened.
+type Options struct {
+	// BufferPages is the page buffer capacity (default 256 pages).
+	BufferPages int
+}
+
+// DefaultBufferPages is used when Options leave BufferPages zero.
+const DefaultBufferPages = 256
+
+// Doc is a page-backed dom.Document: every navigation call decodes the
+// node record from the page buffer, faulting pages in from the file on
+// demand. No main-memory tree is ever built (paper section 5.2.2). The
+// interned name table is small and loaded eagerly.
+//
+// Doc is not safe for concurrent use: the buffer manager is unsynchronized,
+// matching one-query-at-a-time benchmark execution. Open multiple handles
+// for concurrency.
+type Doc struct {
+	docID uint64
+	h     header
+	buf   *buffer
+	names []string
+	file  *os.File // nil when opened over a ReaderAt
+
+	nodesPerPage uint32
+
+	// One-page record cache: consecutive accessors usually decode fields
+	// of the same record, so the frame of the last node page stays pinned
+	// until a different page is needed (pinned frames are never evicted).
+	curPage  uint32
+	curFrame *frame
+}
+
+var _ dom.Document = (*Doc)(nil)
+
+// Open opens a store file.
+func Open(path string, opt Options) (*Doc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	d, err := OpenReaderAt(f, opt)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	d.file = f
+	return d, nil
+}
+
+// OpenReaderAt opens a store image from any random-access reader.
+func OpenReaderAt(r io.ReaderAt, opt Options) (*Doc, error) {
+	hdr := make([]byte, headerSize)
+	if _, err := r.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("store: read header: %w", err)
+	}
+	var h header
+	if err := h.decode(hdr); err != nil {
+		return nil, err
+	}
+	cap := opt.BufferPages
+	if cap == 0 {
+		cap = DefaultBufferPages
+	}
+	d := &Doc{
+		docID:        dom.NextDocID(),
+		h:            h,
+		buf:          newBuffer(r, int(h.pageSize), cap),
+		nodesPerPage: h.pageSize / recordSize,
+	}
+	if err := d.loadNames(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Close releases the underlying file.
+func (d *Doc) Close() error {
+	if d.file != nil {
+		return d.file.Close()
+	}
+	return nil
+}
+
+// BufferStats returns the buffer manager counters.
+func (d *Doc) BufferStats() BufferStats { return d.buf.stats }
+
+// ResetBufferStats zeroes the counters (between benchmark phases).
+func (d *Doc) ResetBufferStats() { d.buf.stats = BufferStats{} }
+
+func (d *Doc) loadNames() error {
+	data, err := d.buf.readStream(d.h.nameStart, 0, int(d.h.nameBytes))
+	if err != nil {
+		return err
+	}
+	if len(data) < 4 {
+		return fmt.Errorf("store: truncated name table")
+	}
+	count := binary.LittleEndian.Uint32(data)
+	pos := 4
+	d.names = make([]string, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if pos+4 > len(data) {
+			return fmt.Errorf("store: truncated name table entry %d", i)
+		}
+		n := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		if pos+n > len(data) {
+			return fmt.Errorf("store: truncated name %d", i)
+		}
+		d.names = append(d.names, string(data[pos:pos+n]))
+		pos += n
+	}
+	return nil
+}
+
+// zeroRecord backs accesses to the nil node and out-of-range ids.
+var zeroRecord = make([]byte, recordSize)
+
+// withRecord runs fn on the pinned record of id. The zero id and
+// out-of-range ids yield a zero record, making NilNode links uniform.
+func (d *Doc) withRecord(id dom.NodeID, fn func(record)) {
+	if id == dom.NilNode || uint32(id) > d.h.nodeCount {
+		fn(record(zeroRecord))
+		return
+	}
+	idx := uint32(id) - 1
+	page := d.h.nodeStart + idx/d.nodesPerPage
+	off := int(idx%d.nodesPerPage) * recordSize
+	if d.curFrame == nil || d.curPage != page {
+		if d.curFrame != nil {
+			d.buf.unfix(d.curFrame)
+			d.curFrame = nil
+		}
+		f, err := d.buf.fix(page)
+		if err != nil {
+			// The file shrank or is corrupt; surface as an empty record.
+			// The writer/opener validated the layout, so this is
+			// unreachable in practice.
+			fn(record(zeroRecord))
+			return
+		}
+		d.curPage, d.curFrame = page, f
+	}
+	fn(record(d.curFrame.data[off : off+recordSize]))
+}
+
+// dropRecordCache releases the pinned record page (updates invalidate it).
+func (d *Doc) dropRecordCache() {
+	if d.curFrame != nil {
+		d.buf.unfix(d.curFrame)
+		d.curFrame = nil
+	}
+}
+
+func (d *Doc) recU32(id dom.NodeID, off int) uint32 {
+	var v uint32
+	d.withRecord(id, func(r record) { v = r.u32(off) })
+	return v
+}
+
+func (d *Doc) recID(id dom.NodeID, off int) dom.NodeID {
+	return dom.NodeID(d.recU32(id, off))
+}
+
+// DocID implements dom.Document.
+func (d *Doc) DocID() uint64 { return d.docID }
+
+// Root implements dom.Document.
+func (d *Doc) Root() dom.NodeID { return 1 }
+
+// NodeCount implements dom.Document.
+func (d *Doc) NodeCount() int { return int(d.h.nodeCount) }
+
+// Kind implements dom.Document.
+func (d *Doc) Kind(id dom.NodeID) dom.NodeKind {
+	var k dom.NodeKind
+	d.withRecord(id, func(r record) { k = r.kind() })
+	return k
+}
+
+// LocalName implements dom.Document.
+func (d *Doc) LocalName(id dom.NodeID) string { return d.names[d.recU32(id, offLocal)] }
+
+// Prefix implements dom.Document.
+func (d *Doc) Prefix(id dom.NodeID) string { return d.names[d.recU32(id, offPrefix)] }
+
+// NamespaceURI implements dom.Document.
+func (d *Doc) NamespaceURI(id dom.NodeID) string { return d.names[d.recU32(id, offURI)] }
+
+// Value implements dom.Document.
+func (d *Doc) Value(id dom.NodeID) string {
+	var off uint64
+	var n uint32
+	d.withRecord(id, func(r record) { off, n = r.valueOff(), r.valueLen() })
+	if n == 0 {
+		return ""
+	}
+	data, err := d.buf.readStream(d.h.textStart, off, int(n))
+	if err != nil {
+		return ""
+	}
+	return string(data)
+}
+
+// Parent implements dom.Document.
+func (d *Doc) Parent(id dom.NodeID) dom.NodeID { return d.recID(id, offParent) }
+
+// FirstChild implements dom.Document.
+func (d *Doc) FirstChild(id dom.NodeID) dom.NodeID { return d.recID(id, offFirstChild) }
+
+// LastChild implements dom.Document.
+func (d *Doc) LastChild(id dom.NodeID) dom.NodeID { return d.recID(id, offLastChild) }
+
+// NextSibling implements dom.Document.
+func (d *Doc) NextSibling(id dom.NodeID) dom.NodeID { return d.recID(id, offNextSib) }
+
+// PrevSibling implements dom.Document.
+func (d *Doc) PrevSibling(id dom.NodeID) dom.NodeID { return d.recID(id, offPrevSib) }
+
+// FirstAttr implements dom.Document.
+func (d *Doc) FirstAttr(id dom.NodeID) dom.NodeID { return d.recID(id, offFirstAttr) }
+
+// NextAttr implements dom.Document.
+func (d *Doc) NextAttr(id dom.NodeID) dom.NodeID { return d.recID(id, offNextAttr) }
+
+// FirstNSDecl implements dom.Document.
+func (d *Doc) FirstNSDecl(id dom.NodeID) dom.NodeID { return d.recID(id, offFirstNS) }
+
+// NextNSDecl implements dom.Document.
+func (d *Doc) NextNSDecl(id dom.NodeID) dom.NodeID { return d.recID(id, offNextNS) }
+
+// StringValue implements dom.Document.
+func (d *Doc) StringValue(id dom.NodeID) string {
+	switch d.Kind(id) {
+	case dom.KindDocument, dom.KindElement:
+		return dom.ElementStringValue(d, id)
+	default:
+		return d.Value(id)
+	}
+}

@@ -1,0 +1,141 @@
+// Package store implements the Natix-style persistent document store
+// (paper section 5.2.2): XML documents are kept in a paged file and
+// navigated through a buffer manager, so query evaluation accesses the
+// physical storage layout directly instead of building a main-memory
+// representation.
+//
+// The file layout is:
+//
+//	page 0                      header
+//	pages [nameStart, nodeStart) interned name table (byte stream)
+//	pages [nodeStart, textStart) fixed-size node records
+//	pages [textStart, ...)       text segment (byte stream)
+//
+// Node records are 64 bytes and addressed by dom.NodeID; IDs are assigned
+// in document order when the file is written, so document-order comparison
+// remains an ID comparison.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"natix/internal/dom"
+)
+
+// Magic identifies a store file.
+const Magic = "NATX"
+
+// FormatVersion is bumped on incompatible layout changes.
+const FormatVersion = 1
+
+// DefaultPageSize is the page size used when Options leave it zero.
+const DefaultPageSize = 8192
+
+// MinPageSize bounds configuration errors.
+const MinPageSize = 512
+
+// recordSize is the fixed size of one node record.
+const recordSize = 64
+
+// Node record field offsets. All links are uint32 NodeIDs (0 = nil); the
+// value is a (offset, length) window into the text segment.
+const (
+	offKind       = 0  // uint8
+	offLocal      = 4  // uint32 name table index
+	offPrefix     = 8  // uint32
+	offURI        = 12 // uint32
+	offParent     = 16 // uint32
+	offFirstChild = 20
+	offLastChild  = 24
+	offNextSib    = 28
+	offPrevSib    = 32
+	offFirstAttr  = 36
+	offNextAttr   = 40
+	offFirstNS    = 44
+	offNextNS     = 48
+	offValueOff   = 52 // uint64 offset into the text segment
+	offValueLen   = 60 // uint32
+)
+
+// header is the decoded page-0 content.
+type header struct {
+	pageSize  uint32
+	nodeCount uint32
+	nameStart uint32 // first name-table page
+	nameBytes uint64
+	nodeStart uint32 // first node-record page
+	textStart uint32 // first text page
+	textBytes uint64
+}
+
+const headerSize = 4 + 4 + 4*5 + 8*2
+
+func (h *header) encode(buf []byte) {
+	copy(buf[0:4], Magic)
+	le := binary.LittleEndian
+	le.PutUint32(buf[4:], FormatVersion)
+	le.PutUint32(buf[8:], h.pageSize)
+	le.PutUint32(buf[12:], h.nodeCount)
+	le.PutUint32(buf[16:], h.nameStart)
+	le.PutUint32(buf[20:], h.nodeStart)
+	le.PutUint32(buf[24:], h.textStart)
+	le.PutUint64(buf[28:], h.nameBytes)
+	le.PutUint64(buf[36:], h.textBytes)
+}
+
+func (h *header) decode(buf []byte) error {
+	if len(buf) < headerSize {
+		return fmt.Errorf("store: truncated header")
+	}
+	if string(buf[0:4]) != Magic {
+		return fmt.Errorf("store: bad magic %q", buf[0:4])
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(buf[4:]); v != FormatVersion {
+		return fmt.Errorf("store: unsupported format version %d", v)
+	}
+	h.pageSize = le.Uint32(buf[8:])
+	h.nodeCount = le.Uint32(buf[12:])
+	h.nameStart = le.Uint32(buf[16:])
+	h.nodeStart = le.Uint32(buf[20:])
+	h.textStart = le.Uint32(buf[24:])
+	h.nameBytes = le.Uint64(buf[28:])
+	h.textBytes = le.Uint64(buf[36:])
+	if h.pageSize < MinPageSize {
+		return fmt.Errorf("store: implausible page size %d", h.pageSize)
+	}
+	return nil
+}
+
+// record is a decoding view over one 64-byte node record.
+type record []byte
+
+func (r record) kind() dom.NodeKind { return dom.NodeKind(r[offKind]) }
+func (r record) u32(off int) uint32 { return binary.LittleEndian.Uint32(r[off:]) }
+func (r record) id(off int) dom.NodeID {
+	return dom.NodeID(binary.LittleEndian.Uint32(r[off:]))
+}
+func (r record) valueOff() uint64 { return binary.LittleEndian.Uint64(r[offValueOff:]) }
+func (r record) valueLen() uint32 { return binary.LittleEndian.Uint32(r[offValueLen:]) }
+
+func encodeRecord(buf []byte, kind dom.NodeKind, local, prefix, uri uint32,
+	parent, firstChild, lastChild, nextSib, prevSib, firstAttr, nextAttr, firstNS, nextNS dom.NodeID,
+	valOff uint64, valLen uint32) {
+	le := binary.LittleEndian
+	buf[offKind] = byte(kind)
+	le.PutUint32(buf[offLocal:], local)
+	le.PutUint32(buf[offPrefix:], prefix)
+	le.PutUint32(buf[offURI:], uri)
+	le.PutUint32(buf[offParent:], uint32(parent))
+	le.PutUint32(buf[offFirstChild:], uint32(firstChild))
+	le.PutUint32(buf[offLastChild:], uint32(lastChild))
+	le.PutUint32(buf[offNextSib:], uint32(nextSib))
+	le.PutUint32(buf[offPrevSib:], uint32(prevSib))
+	le.PutUint32(buf[offFirstAttr:], uint32(firstAttr))
+	le.PutUint32(buf[offNextAttr:], uint32(nextAttr))
+	le.PutUint32(buf[offFirstNS:], uint32(firstNS))
+	le.PutUint32(buf[offNextNS:], uint32(nextNS))
+	le.PutUint64(buf[offValueOff:], valOff)
+	le.PutUint32(buf[offValueLen:], valLen)
+}

@@ -1,0 +1,249 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"natix/internal/dom"
+)
+
+// memFile adapts a byte slice to io.ReaderAt for file-less tests.
+type memFile struct{ data []byte }
+
+func (m *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(m.data)) {
+		return 0, fmt.Errorf("EOF past end")
+	}
+	n := copy(p, m.data[off:])
+	return n, nil
+}
+
+func roundTrip(t *testing.T, d dom.Document, opt Options) *Doc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteTo(&buf, d); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	sd, err := OpenReaderAt(bytes.NewReader(buf.Bytes()), opt)
+	if err != nil {
+		t.Fatalf("OpenReaderAt: %v", err)
+	}
+	return sd
+}
+
+// assertEqualDocs walks every node of both documents and compares all
+// Document accessors.
+func assertEqualDocs(t *testing.T, want, got dom.Document) {
+	t.Helper()
+	if want.NodeCount() != got.NodeCount() {
+		t.Fatalf("node count %d != %d", got.NodeCount(), want.NodeCount())
+	}
+	for id := dom.NodeID(1); int(id) <= want.NodeCount(); id++ {
+		if a, b := want.Kind(id), got.Kind(id); a != b {
+			t.Fatalf("#%d kind %v != %v", id, b, a)
+		}
+		type acc struct {
+			name string
+			fn   func(dom.Document) any
+		}
+		accs := []acc{
+			{"LocalName", func(d dom.Document) any { return d.LocalName(id) }},
+			{"Prefix", func(d dom.Document) any { return d.Prefix(id) }},
+			{"NamespaceURI", func(d dom.Document) any { return d.NamespaceURI(id) }},
+			{"Value", func(d dom.Document) any { return d.Value(id) }},
+			{"Parent", func(d dom.Document) any { return d.Parent(id) }},
+			{"FirstChild", func(d dom.Document) any { return d.FirstChild(id) }},
+			{"LastChild", func(d dom.Document) any { return d.LastChild(id) }},
+			{"NextSibling", func(d dom.Document) any { return d.NextSibling(id) }},
+			{"PrevSibling", func(d dom.Document) any { return d.PrevSibling(id) }},
+			{"FirstAttr", func(d dom.Document) any { return d.FirstAttr(id) }},
+			{"NextAttr", func(d dom.Document) any { return d.NextAttr(id) }},
+			{"FirstNSDecl", func(d dom.Document) any { return d.FirstNSDecl(id) }},
+			{"NextNSDecl", func(d dom.Document) any { return d.NextNSDecl(id) }},
+			{"StringValue", func(d dom.Document) any { return d.StringValue(id) }},
+		}
+		for _, a := range accs {
+			if w, g := a.fn(want), a.fn(got); w != g {
+				t.Fatalf("#%d %s: got %v, want %v", id, a.name, g, w)
+			}
+		}
+	}
+}
+
+const storeSample = `<a xmlns:p="urn:p" id="1"><b p:k="v">text content</b><!--note--><?pi data?><c><d/>tail</c></a>`
+
+func TestRoundTrip(t *testing.T) {
+	mem, err := dom.ParseString(storeSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := roundTrip(t, mem, Options{})
+	assertEqualDocs(t, mem, sd)
+}
+
+func TestRoundTripFile(t *testing.T) {
+	mem, err := dom.ParseString(storeSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "doc.natix")
+	if err := Write(path, mem); err != nil {
+		t.Fatal(err)
+	}
+	sd, err := Open(path, Options{BufferPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	assertEqualDocs(t, mem, sd)
+}
+
+func TestImportXML(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "doc.natix")
+	if err := ImportXML(path, strings.NewReader(storeSample)); err != nil {
+		t.Fatal(err)
+	}
+	sd, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	if got := sd.StringValue(sd.Root()); got != "text contenttail" {
+		t.Errorf("string-value %q", got)
+	}
+}
+
+// TestRandomDocsRoundTrip is a property test: random documents survive the
+// store round trip with identical navigation.
+func TestRandomDocsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		b := dom.NewBuilder()
+		var build func(depth, fan int)
+		build = func(depth, fan int) {
+			for j := 0; j < fan; j++ {
+				switch rng.Intn(5) {
+				case 0:
+					b.Text(strings.Repeat("x", rng.Intn(200)+1))
+				case 1:
+					b.Comment("c")
+				default:
+					b.StartElement("", fmt.Sprintf("e%d", rng.Intn(6)), "")
+					if rng.Intn(2) == 0 {
+						b.Attr("", "k", "", fmt.Sprintf("%d", rng.Intn(100)))
+					}
+					if depth < 4 {
+						build(depth+1, rng.Intn(4))
+					}
+					b.EndElement()
+				}
+			}
+		}
+		b.StartElement("", "root", "")
+		build(0, 5+rng.Intn(10))
+		b.EndElement()
+		mem := b.Doc()
+		sd := roundTrip(t, mem, Options{BufferPages: 3})
+		assertEqualDocs(t, mem, sd)
+	}
+}
+
+func TestBufferStats(t *testing.T) {
+	// Build a document large enough for several node pages.
+	b := dom.NewBuilder()
+	b.StartElement("", "root", "")
+	for i := 0; i < 2000; i++ {
+		b.StartElement("", "item", "")
+		b.Attr("", "id", "", fmt.Sprintf("%d", i))
+		b.Text(fmt.Sprintf("value-%d", i))
+		b.EndElement()
+	}
+	b.EndElement()
+	mem := b.Doc()
+
+	sd := roundTrip(t, mem, Options{BufferPages: 4})
+	// A full sequential scan with a tiny buffer must evict.
+	for id := dom.NodeID(1); int(id) <= sd.NodeCount(); id++ {
+		sd.Kind(id)
+		sd.Value(id)
+	}
+	st := sd.BufferStats()
+	if st.Misses == 0 || st.Evictions == 0 {
+		t.Errorf("expected misses and evictions with a 4-page buffer: %+v", st)
+	}
+	if st.Hits == 0 {
+		t.Errorf("expected some hits: %+v", st)
+	}
+
+	// A large buffer holds the working set: second scan is all hits.
+	sd2 := roundTrip(t, mem, Options{BufferPages: 10_000})
+	for id := dom.NodeID(1); int(id) <= sd2.NodeCount(); id++ {
+		sd2.Kind(id)
+	}
+	first := sd2.BufferStats()
+	sd2.ResetBufferStats()
+	for id := dom.NodeID(1); int(id) <= sd2.NodeCount(); id++ {
+		sd2.Kind(id)
+	}
+	second := sd2.BufferStats()
+	if second.Misses != 0 {
+		t.Errorf("warm scan should not miss: %+v (cold %+v)", second, first)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := OpenReaderAt(bytes.NewReader([]byte("too short")), Options{}); err == nil {
+		t.Error("short file accepted")
+	}
+	bad := make([]byte, DefaultPageSize)
+	copy(bad, "JUNK")
+	if _, err := OpenReaderAt(bytes.NewReader(bad), Options{}); err == nil {
+		t.Error("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	mem, _ := dom.ParseString("<a/>")
+	if err := WriteTo(&buf, mem); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := append([]byte(nil), buf.Bytes()...)
+	corrupted[4] = 99 // version
+	if _, err := OpenReaderAt(bytes.NewReader(corrupted), Options{}); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing"), Options{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestNilNodeUniform(t *testing.T) {
+	mem, _ := dom.ParseString("<a/>")
+	sd := roundTrip(t, mem, Options{})
+	if sd.Parent(dom.NilNode) != dom.NilNode {
+		t.Error("nil node parent should be nil")
+	}
+	if sd.Kind(dom.NodeID(999)) != dom.NodeKind(0) {
+		t.Error("out-of-range node should have zero kind")
+	}
+	if sd.Parent(sd.Root()) != dom.NilNode {
+		t.Error("root parent should be nil")
+	}
+}
+
+func TestLongTextAcrossPages(t *testing.T) {
+	long := strings.Repeat("abcdefghij", 5000) // 50 KB, spans text pages
+	b := dom.NewBuilder()
+	b.StartElement("", "a", "")
+	b.Text(long)
+	b.StartElement("", "b", "")
+	b.Text("short")
+	b.EndElement()
+	b.EndElement()
+	sd := roundTrip(t, b.Doc(), Options{BufferPages: 2})
+	if got := sd.StringValue(sd.Root()); got != long+"short" {
+		t.Errorf("long text corrupted: %d bytes vs %d", len(got), len(long)+5)
+	}
+}

@@ -1,0 +1,287 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"natix/internal/dom"
+)
+
+// writeStoreFile materializes a parsed document as a store file in a temp
+// dir and returns the path.
+func writeStoreFile(t *testing.T, xml string) string {
+	t.Helper()
+	mem, err := dom.ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "doc.natix")
+	if err := Write(path, mem); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// findNode locates the first node matching kind and (for named kinds) local
+// name.
+func findNode(d *Doc, kind dom.NodeKind, name string) dom.NodeID {
+	for id := dom.NodeID(1); int(id) <= d.NodeCount(); id++ {
+		if d.Kind(id) == kind && (name == "" || d.LocalName(id) == name) {
+			return id
+		}
+	}
+	return dom.NilNode
+}
+
+const updSample = `<a k="v1"><b>hello</b><c>world</c><!--note--></a>`
+
+func TestUpdateCommit(t *testing.T) {
+	path := writeStoreFile(t, updSample)
+	u, err := OpenUpdatable(path, Options{BufferPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := u.Doc()
+	attr := findNode(d, dom.KindAttribute, "k")
+	text := d.FirstChild(findNode(d, dom.KindElement, "b"))
+
+	tx := u.Begin()
+	if err := tx.SetValue(attr, "updated attribute value"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetValue(text, "goodbye, longer than before"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Value(attr); got != "updated attribute value" {
+		t.Errorf("attr = %q", got)
+	}
+	if got := d.Value(text); got != "goodbye, longer than before" {
+		t.Errorf("text = %q", got)
+	}
+	// Untouched values survive.
+	cText := d.FirstChild(findNode(d, dom.KindElement, "c"))
+	if got := d.Value(cText); got != "world" {
+		t.Errorf("c = %q", got)
+	}
+	u.Close()
+
+	// Durable across reopen, and the WAL is checkpointed away.
+	d2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got := d2.Value(attr); got != "updated attribute value" {
+		t.Errorf("after reopen: attr = %q", got)
+	}
+	if got := d2.StringValue(d2.Root()); got != "goodbye, longer than beforeworld" {
+		t.Errorf("after reopen string-value: %q", got)
+	}
+	if fi, err := os.Stat(path + walSuffix); err == nil && fi.Size() != 0 {
+		t.Errorf("wal not checkpointed: %d bytes", fi.Size())
+	}
+}
+
+func TestUpdateAbortAndErrors(t *testing.T) {
+	path := writeStoreFile(t, updSample)
+	u, err := OpenUpdatable(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	d := u.Doc()
+	text := d.FirstChild(findNode(d, dom.KindElement, "b"))
+
+	tx := u.Begin()
+	if err := tx.SetValue(text, "never seen"); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if got := d.Value(text); got != "hello" {
+		t.Errorf("aborted update visible: %q", got)
+	}
+	if err := tx.SetValue(text, "x"); err == nil {
+		t.Error("SetValue after Abort accepted")
+	}
+	if err := tx.Commit(); err == nil {
+		t.Error("Commit after Abort accepted")
+	}
+
+	tx2 := u.Begin()
+	if err := tx2.SetValue(findNode(d, dom.KindElement, "b"), "x"); err == nil {
+		t.Error("SetValue on an element accepted")
+	}
+	if err := tx2.SetValue(dom.NodeID(9999), "x"); err == nil {
+		t.Error("SetValue on a bogus node accepted")
+	}
+	// Empty commit is a no-op.
+	if err := u.Begin().Commit(); err != nil {
+		t.Errorf("empty commit: %v", err)
+	}
+}
+
+// TestRecoveryRedo simulates a crash between commit and checkpoint: the WAL
+// holds a committed transaction that was never applied to the store file.
+func TestRecoveryRedo(t *testing.T) {
+	path := writeStoreFile(t, updSample)
+	d, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := d.FirstChild(findNode(d, dom.KindElement, "b"))
+	textOff := d.h.textBytes
+	d.Close()
+
+	// Hand-craft a committed WAL without touching the store file.
+	wal := encodeTx([]valueUpdate{{node: text, off: textOff, value: []byte("recovered!")}})
+	if err := os.WriteFile(path+walSuffix, wal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	u, err := OpenUpdatable(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	if got := u.Doc().Value(text); got != "recovered!" {
+		t.Errorf("redo lost: %q", got)
+	}
+	if fi, err := os.Stat(path + walSuffix); err == nil && fi.Size() != 0 {
+		t.Error("wal not truncated after recovery")
+	}
+}
+
+// TestRecoveryDiscardsUncommitted simulates a crash before the commit
+// record was written: the tail must be discarded.
+func TestRecoveryDiscardsUncommitted(t *testing.T) {
+	path := writeStoreFile(t, updSample)
+	d, _ := Open(path, Options{})
+	text := d.FirstChild(findNode(d, dom.KindElement, "b"))
+	textOff := d.h.textBytes
+	d.Close()
+
+	full := encodeTx([]valueUpdate{{node: text, off: textOff, value: []byte("torn")}})
+	for _, cut := range []int{1, len(full) / 2, len(full) - 1} {
+		if err := os.WriteFile(path+walSuffix, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		u, err := OpenUpdatable(path, Options{})
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if got := u.Doc().Value(text); got != "hello" {
+			t.Errorf("cut=%d: uncommitted tail applied: %q", cut, got)
+		}
+		u.Close()
+	}
+}
+
+// TestRecoveryRejectsCorruptCommit flips a byte inside the logged value so
+// the commit CRC no longer matches.
+func TestRecoveryRejectsCorruptCommit(t *testing.T) {
+	path := writeStoreFile(t, updSample)
+	d, _ := Open(path, Options{})
+	text := d.FirstChild(findNode(d, dom.KindElement, "b"))
+	textOff := d.h.textBytes
+	d.Close()
+
+	wal := encodeTx([]valueUpdate{{node: text, off: textOff, value: []byte("corrupt")}})
+	wal[20] ^= 0xFF
+	if err := os.WriteFile(path+walSuffix, wal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	u, err := OpenUpdatable(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	if got := u.Doc().Value(text); got != "hello" {
+		t.Errorf("corrupt tx applied: %q", got)
+	}
+}
+
+// TestRecoveryMultipleTransactions: two committed transactions in the log
+// (crash before either checkpoint) replay in order.
+func TestRecoveryMultipleTransactions(t *testing.T) {
+	path := writeStoreFile(t, updSample)
+	d, _ := Open(path, Options{})
+	text := d.FirstChild(findNode(d, dom.KindElement, "b"))
+	off := d.h.textBytes
+	d.Close()
+
+	tx1 := encodeTx([]valueUpdate{{node: text, off: off, value: []byte("first")}})
+	tx2 := encodeTx([]valueUpdate{{node: text, off: off + 5, value: []byte("second")}})
+	if err := os.WriteFile(path+walSuffix, append(tx1, tx2...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	u, err := OpenUpdatable(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	if got := u.Doc().Value(text); got != "second" {
+		t.Errorf("last committed tx should win: %q", got)
+	}
+}
+
+func TestUpdateLongValueAcrossPages(t *testing.T) {
+	path := writeStoreFile(t, updSample)
+	u, err := OpenUpdatable(path, Options{BufferPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	d := u.Doc()
+	text := d.FirstChild(findNode(d, dom.KindElement, "b"))
+	long := strings.Repeat("0123456789", 3000) // 30 KB, spans pages
+
+	tx := u.Begin()
+	if err := tx.SetValue(text, long); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Value(text); got != long {
+		t.Errorf("long update corrupted: %d bytes", len(got))
+	}
+	// Sequential transactions append after each other.
+	tx2 := u.Begin()
+	if err := tx2.SetValue(text, "short again"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Value(text); got != "short again" {
+		t.Errorf("second update: %q", got)
+	}
+}
+
+// TestUpdateVisibleToQueries runs the engine over an updated store.
+func TestUpdateVisibleToQueries(t *testing.T) {
+	path := writeStoreFile(t, updSample)
+	u, err := OpenUpdatable(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	d := u.Doc()
+	tx := u.Begin()
+	if err := tx.SetValue(findNode(d, dom.KindAttribute, "k"), "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The dom.Document interface sees the new value through StringValue.
+	attr := findNode(d, dom.KindAttribute, "k")
+	if d.StringValue(attr) != "v2" {
+		t.Errorf("string-value after update: %q", d.StringValue(attr))
+	}
+}

@@ -1,0 +1,197 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"natix/internal/dom"
+)
+
+// Write serializes a document into the paged store format at path.
+func Write(path string, d dom.Document) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("store: create %s: %w", path, err)
+	}
+	if err := WriteTo(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteTo serializes a document into the paged store format.
+func WriteTo(w io.Writer, d dom.Document) error {
+	return writeDoc(w, d, DefaultPageSize)
+}
+
+// ImportXML parses XML from r and writes it as a store file at path.
+func ImportXML(path string, r io.Reader) error {
+	doc, err := dom.Parse(r)
+	if err != nil {
+		return err
+	}
+	return Write(path, doc)
+}
+
+// nameTable interns name strings during writing.
+type nameTable struct {
+	idx  map[string]uint32
+	list []string
+	size uint64
+}
+
+func newNameTable() *nameTable {
+	t := &nameTable{idx: map[string]uint32{}}
+	t.intern("") // index 0 is the empty string
+	return t
+}
+
+func (t *nameTable) intern(s string) uint32 {
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := uint32(len(t.list))
+	t.idx[s] = i
+	t.list = append(t.list, s)
+	t.size += uint64(4 + len(s))
+	return i
+}
+
+func writeDoc(w io.Writer, d dom.Document, pageSize int) error {
+	nodeCount := uint32(d.NodeCount())
+
+	// Pass 1: intern names, accumulate text-segment offsets.
+	names := newNameTable()
+	textOff := make([]uint64, nodeCount+1)
+	textLen := make([]uint32, nodeCount+1)
+	var textBytes uint64
+	for id := dom.NodeID(1); id <= dom.NodeID(nodeCount); id++ {
+		names.intern(d.LocalName(id))
+		names.intern(d.Prefix(id))
+		names.intern(d.NamespaceURI(id))
+		switch d.Kind(id) {
+		case dom.KindDocument, dom.KindElement:
+			// No stored value; string-value derives from text descendants.
+		default:
+			v := d.Value(id)
+			textOff[id] = textBytes
+			textLen[id] = uint32(len(v))
+			textBytes += uint64(len(v))
+		}
+	}
+
+	// Layout.
+	nameBytes := 4 + names.size // count prefix + entries
+	namePages := pagesFor(nameBytes, pageSize)
+	nodesPerPage := uint32(pageSize / recordSize)
+	nodePages := (nodeCount + nodesPerPage - 1) / nodesPerPage
+	h := header{
+		pageSize:  uint32(pageSize),
+		nodeCount: nodeCount,
+		nameStart: 1,
+		nameBytes: nameBytes,
+		nodeStart: 1 + namePages,
+		textStart: 1 + namePages + nodePages,
+		textBytes: textBytes,
+	}
+
+	bw := bufio.NewWriterSize(w, pageSize*4)
+	pw := &pageWriter{w: bw, pageSize: pageSize}
+
+	// Header page.
+	hdr := make([]byte, pageSize)
+	h.encode(hdr)
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	pw.written = pageSize
+
+	// Name table stream.
+	var u32buf [4]byte
+	binary.LittleEndian.PutUint32(u32buf[:], uint32(len(names.list)))
+	if err := pw.write(u32buf[:]); err != nil {
+		return err
+	}
+	for _, s := range names.list {
+		binary.LittleEndian.PutUint32(u32buf[:], uint32(len(s)))
+		if err := pw.write(u32buf[:]); err != nil {
+			return err
+		}
+		if err := pw.write([]byte(s)); err != nil {
+			return err
+		}
+	}
+	if err := pw.pad(); err != nil {
+		return err
+	}
+
+	// Node records.
+	var rec [recordSize]byte
+	perPage := int(nodesPerPage)
+	inPage := 0
+	for id := dom.NodeID(1); id <= dom.NodeID(nodeCount); id++ {
+		encodeRecord(rec[:], d.Kind(id),
+			names.intern(d.LocalName(id)), names.intern(d.Prefix(id)), names.intern(d.NamespaceURI(id)),
+			d.Parent(id), d.FirstChild(id), d.LastChild(id), d.NextSibling(id), d.PrevSibling(id),
+			d.FirstAttr(id), d.NextAttr(id), d.FirstNSDecl(id), d.NextNSDecl(id),
+			textOff[id], textLen[id])
+		if err := pw.write(rec[:]); err != nil {
+			return err
+		}
+		inPage++
+		if inPage == perPage {
+			// Records never straddle pages; pad the slack.
+			if err := pw.pad(); err != nil {
+				return err
+			}
+			inPage = 0
+		}
+	}
+	if err := pw.pad(); err != nil {
+		return err
+	}
+
+	// Text segment.
+	for id := dom.NodeID(1); id <= dom.NodeID(nodeCount); id++ {
+		if textLen[id] == 0 {
+			continue
+		}
+		if err := pw.write([]byte(d.Value(id))); err != nil {
+			return err
+		}
+	}
+	if err := pw.pad(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func pagesFor(bytes uint64, pageSize int) uint32 {
+	return uint32((bytes + uint64(pageSize) - 1) / uint64(pageSize))
+}
+
+// pageWriter tracks page alignment over a byte stream.
+type pageWriter struct {
+	w        io.Writer
+	pageSize int
+	written  int
+}
+
+func (p *pageWriter) write(b []byte) error {
+	n, err := p.w.Write(b)
+	p.written += n
+	return err
+}
+
+// pad fills the current page with zeroes up to the next boundary.
+func (p *pageWriter) pad() error {
+	slack := p.written % p.pageSize
+	if slack == 0 {
+		return nil
+	}
+	return p.write(make([]byte, p.pageSize-slack))
+}

@@ -1,0 +1,306 @@
+package translate
+
+import (
+	"fmt"
+
+	"natix/internal/algebra"
+	"natix/internal/sem"
+	"natix/internal/xval"
+)
+
+// scalar translates a non-sequence-valued expression into a subscript
+// scalar (sections 3.3.1, 3.6).
+func (tr *translator) scalar(e sem.Expr, sc scope) (algebra.Scalar, error) {
+	switch n := e.(type) {
+	case *sem.Literal:
+		return &algebra.Const{Val: n.Val}, nil
+	case *sem.VarRef:
+		return &algebra.XVar{Name: n.Name}, nil
+	case *sem.Neg:
+		x, err := tr.scalar(n.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.NegExpr{X: x}, nil
+	case *sem.Arith:
+		l, err := tr.scalar(n.Left, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tr.scalar(n.Right, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.ArithExpr{Op: n.Op, L: l, R: r}, nil
+	case *sem.Logic:
+		out := &algebra.LogicExpr{Or: n.Or}
+		for _, t := range n.Terms {
+			s, err := tr.scalar(t, sc)
+			if err != nil {
+				return nil, err
+			}
+			out.Terms = append(out.Terms, s)
+		}
+		return out, nil
+	case *sem.Compare:
+		return tr.compare(n, sc)
+	case *sem.Call:
+		return tr.scalarCall(n, sc)
+	case *sem.Path, *sem.Union:
+		// A node-set in a scalar position without an explicit conversion:
+		// collect it into a node-set value (generic escape hatch).
+		return tr.collect(e, sc)
+	}
+	return nil, fmt.Errorf("translate: unsupported scalar %T", e)
+}
+
+// collect materializes a sequence-valued expression as a node-set value.
+func (tr *translator) collect(e sem.Expr, sc scope) (algebra.Scalar, error) {
+	s, err := tr.seq(e, sc)
+	if err != nil {
+		return nil, err
+	}
+	return &algebra.NestedAgg{Agg: algebra.AggCollect, Plan: s.op, Attr: s.attr}, nil
+}
+
+// exists wraps a plan in the boolean exists() aggregate (section 3.3.2).
+func existsAgg(s seq) algebra.Scalar {
+	return &algebra.NestedAgg{Agg: algebra.AggExists, Plan: s.op, Attr: s.attr}
+}
+
+// compare translates comparisons, dispatching on the static operand types
+// (section 3.6.2 for node-sets; scalar comparisons map onto the shared
+// comparison semantics).
+func (tr *translator) compare(n *sem.Compare, sc scope) (algebra.Scalar, error) {
+	lt, rt := n.Left.Type(), n.Right.Type()
+	lNS, rNS := lt == sem.TNodeSet, rt == sem.TNodeSet
+
+	// Runtime-typed operands fall back to collected values and the full
+	// dynamic comparison rules.
+	if lt == sem.TObject || rt == sem.TObject {
+		l, err := tr.scalarOrCollect(n.Left, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tr.scalarOrCollect(n.Right, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.CompareExpr{Op: n.Op, L: l, R: r}, nil
+	}
+
+	switch {
+	case lNS && rNS:
+		return tr.compareNodeSets(n, sc)
+	case lNS:
+		return tr.compareNodeSetScalar(n.Left, n.Op, n.Right, sc)
+	case rNS:
+		return tr.compareNodeSetScalar(n.Right, n.Op.Negate(), n.Left, sc)
+	default:
+		l, err := tr.scalar(n.Left, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tr.scalar(n.Right, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.CompareExpr{Op: n.Op, L: l, R: r}, nil
+	}
+}
+
+func (tr *translator) scalarOrCollect(e sem.Expr, sc scope) (algebra.Scalar, error) {
+	if e.Type() == sem.TNodeSet {
+		return tr.collect(e, sc)
+	}
+	return tr.scalar(e, sc)
+}
+
+// compareNodeSets is section 3.6.2: (in)equality via the existential joins,
+// ordering via exists() over a selection against the max()/min() aggregate
+// of the other side. The independent aggregate is memoized per context so
+// it is computed once per predicate context rather than once per tuple.
+func (tr *translator) compareNodeSets(n *sem.Compare, sc scope) (algebra.Scalar, error) {
+	l, err := tr.seq(n.Left, sc)
+	if err != nil {
+		return nil, err
+	}
+	r, err := tr.seq(n.Right, sc)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case xval.OpEq, xval.OpNe:
+		join := &algebra.ExistsJoin{
+			L: l.op, R: r.op, LAttr: l.attr, RAttr: r.attr, Eq: n.Op == xval.OpEq,
+		}
+		return &algebra.NestedAgg{Agg: algebra.AggExists, Plan: join, Attr: l.attr}, nil
+	}
+	agg := algebra.AggMax // for < and <=: compare against max of the right side
+	if n.Op == xval.OpGt || n.Op == xval.OpGe {
+		agg = algebra.AggMin
+	}
+	bound := algebra.Scalar(&algebra.Memo{
+		X:       &algebra.NestedAgg{Agg: agg, Plan: r.op, Attr: r.attr},
+		KeyAttr: sc.ctxAttr,
+	})
+	sel := &algebra.Select{
+		In: l.op,
+		Pred: &algebra.CompareExpr{
+			Op: n.Op,
+			L:  &algebra.StrValue{X: &algebra.AttrRef{Name: l.attr}},
+			R:  bound,
+		},
+	}
+	return &algebra.NestedAgg{Agg: algebra.AggExists, Plan: sel, Attr: l.attr}, nil
+}
+
+// compareNodeSetScalar handles node-set θ scalar: booleans compare against
+// exists(), numbers and strings existentially against each node's
+// string-value (spec section 3.4; the shared comparison semantics make one
+// shape cover both).
+func (tr *translator) compareNodeSetScalar(ns sem.Expr, op xval.CompareOp, other sem.Expr, sc scope) (algebra.Scalar, error) {
+	if other.Type() == sem.TBoolean {
+		s, err := tr.seq(ns, sc)
+		if err != nil {
+			return nil, err
+		}
+		o, err := tr.scalar(other, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.CompareExpr{Op: op, L: existsAgg(s), R: o}, nil
+	}
+	s, err := tr.seq(ns, sc)
+	if err != nil {
+		return nil, err
+	}
+	o, err := tr.scalar(other, sc)
+	if err != nil {
+		return nil, err
+	}
+	sel := &algebra.Select{
+		In: s.op,
+		Pred: &algebra.CompareExpr{
+			Op: op,
+			L:  &algebra.StrValue{X: &algebra.AttrRef{Name: s.attr}},
+			R:  o,
+		},
+	}
+	return &algebra.NestedAgg{Agg: algebra.AggExists, Plan: sel, Attr: s.attr}, nil
+}
+
+// scalarCall translates function calls per section 3.6.
+func (tr *translator) scalarCall(c *sem.Call, sc scope) (algebra.Scalar, error) {
+	switch c.Fn.ID {
+	case sem.FnPosition:
+		if sc.posAttr == "" {
+			return &algebra.Const{Val: xval.Num(1)}, nil
+		}
+		return &algebra.AttrRef{Name: sc.posAttr}, nil
+	case sem.FnLast:
+		if sc.sizeAttr == "" {
+			return &algebra.Const{Val: xval.Num(1)}, nil
+		}
+		return &algebra.AttrRef{Name: sc.sizeAttr}, nil
+	case sem.FnCount, sem.FnSum:
+		agg := algebra.AggCount
+		if c.Fn.ID == sem.FnSum {
+			agg = algebra.AggSum
+		}
+		arg := c.Args[0]
+		if arg.Type() == sem.TObject {
+			// count($v): collect and count the runtime node-set.
+			x, err := tr.scalar(arg, sc)
+			if err != nil {
+				return nil, err
+			}
+			return &algebra.FuncExpr{ID: c.Fn.ID, Args: []algebra.Scalar{x}}, nil
+		}
+		s, err := tr.seq(arg, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.NestedAgg{Agg: agg, Plan: s.op, Attr: s.attr}, nil
+	case sem.FnLocalName, sem.FnNamespaceURI, sem.FnName:
+		arg, err := tr.firstNodeArg(c.Args[0], sc)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.FuncExpr{ID: c.Fn.ID, Args: []algebra.Scalar{arg}}, nil
+	case sem.FnLang:
+		s, err := tr.scalar(c.Args[0], sc)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.FuncExpr{
+			ID:   sem.FnLang,
+			Args: []algebra.Scalar{&algebra.AttrRef{Name: sc.ctxAttr}, s},
+		}, nil
+	case sem.FnBoolean:
+		arg := c.Args[0]
+		if arg.Type() == sem.TNodeSet {
+			s, err := tr.seq(arg, sc)
+			if err != nil {
+				return nil, err
+			}
+			return existsAgg(s), nil
+		}
+		x, err := tr.scalar(arg, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.FuncExpr{ID: sem.FnBoolean, Args: []algebra.Scalar{x}}, nil
+	case sem.FnString, sem.FnNumber:
+		arg := c.Args[0]
+		if arg.Type() == sem.TNodeSet {
+			first, err := tr.firstNodeArg(arg, sc)
+			if err != nil {
+				return nil, err
+			}
+			return &algebra.FuncExpr{ID: c.Fn.ID, Args: []algebra.Scalar{first}}, nil
+		}
+		x, err := tr.scalar(arg, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.FuncExpr{ID: c.Fn.ID, Args: []algebra.Scalar{x}}, nil
+	case sem.FnPredTruth:
+		x, err := tr.scalar(c.Args[0], sc)
+		if err != nil {
+			return nil, err
+		}
+		pos, err := tr.scalar(c.Args[1], sc)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.PredTruth{X: x, Pos: pos}, nil
+	case sem.FnID:
+		// id() in a scalar position: collect the resulting node-set.
+		return tr.collect(c, sc)
+	}
+	// Simple functions: translate arguments (already converted by the
+	// analysis) and call the algebra counterpart (section 3.6.1).
+	out := &algebra.FuncExpr{ID: c.Fn.ID}
+	for _, a := range c.Args {
+		x, err := tr.scalarOrCollect(a, sc)
+		if err != nil {
+			return nil, err
+		}
+		out.Args = append(out.Args, x)
+	}
+	return out, nil
+}
+
+// firstNodeArg aggregates a node-set argument into its document-order-first
+// node (the input convention of string()/name()/etc. over node-sets).
+func (tr *translator) firstNodeArg(e sem.Expr, sc scope) (algebra.Scalar, error) {
+	if e.Type() == sem.TObject {
+		return tr.scalar(e, sc)
+	}
+	s, err := tr.seq(e, sc)
+	if err != nil {
+		return nil, err
+	}
+	return &algebra.NestedAgg{Agg: algebra.AggFirstNode, Plan: s.op, Attr: s.attr}, nil
+}

@@ -1,0 +1,256 @@
+// Package xfn implements the runtime support for XPath core functions that
+// operate on nodes and node-sets. It is shared by the baseline interpreters
+// and by the virtual machine of the algebraic engine so that both agree on
+// semantics (first-in-document-order selection, id() resolution, xml:lang
+// matching, node-set arithmetic aggregation).
+package xfn
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"natix/internal/dom"
+	"natix/internal/xval"
+)
+
+// SortDocOrder sorts nodes into document order in place.
+func SortDocOrder(nodes []dom.Node) {
+	sort.Slice(nodes, func(i, j int) bool {
+		return dom.CompareOrder(nodes[i], nodes[j]) < 0
+	})
+}
+
+// DedupSorted removes adjacent duplicates from a document-ordered slice,
+// returning the shortened slice.
+func DedupSorted(nodes []dom.Node) []dom.Node {
+	if len(nodes) < 2 {
+		return nodes
+	}
+	out := nodes[:1]
+	for _, n := range nodes[1:] {
+		if !n.Same(out[len(out)-1]) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SortDedup sorts into document order and removes duplicates.
+func SortDedup(nodes []dom.Node) []dom.Node {
+	SortDocOrder(nodes)
+	return DedupSorted(nodes)
+}
+
+// FirstInDocOrder returns the document-order-first node of a (possibly
+// unsorted) non-empty slice.
+func FirstInDocOrder(nodes []dom.Node) dom.Node {
+	first := nodes[0]
+	for _, n := range nodes[1:] {
+		if dom.CompareOrder(n, first) < 0 {
+			first = n
+		}
+	}
+	return first
+}
+
+// LocalName implements local-name(node-set).
+func LocalName(nodes []dom.Node) string {
+	if len(nodes) == 0 {
+		return ""
+	}
+	return FirstInDocOrder(nodes).LocalName()
+}
+
+// NamespaceURI implements namespace-uri(node-set).
+func NamespaceURI(nodes []dom.Node) string {
+	if len(nodes) == 0 {
+		return ""
+	}
+	return FirstInDocOrder(nodes).NamespaceURI()
+}
+
+// Name implements name(node-set).
+func Name(nodes []dom.Node) string {
+	if len(nodes) == 0 {
+		return ""
+	}
+	return FirstInDocOrder(nodes).Name()
+}
+
+// Count implements count(node-set).
+func Count(nodes []dom.Node) float64 { return float64(len(nodes)) }
+
+// Sum implements sum(node-set): the sum over the numbers of the nodes'
+// string-values.
+func Sum(nodes []dom.Node) float64 {
+	var s float64
+	for _, n := range nodes {
+		s += xval.ParseNumber(n.StringValue())
+	}
+	return s
+}
+
+// Lang implements lang(s) for a context node: the nearest xml:lang
+// attribute on the ancestor-or-self chain, matched per spec section 4.3.
+func Lang(ctx dom.Node, want string) bool {
+	d := ctx.Doc
+	for id := ctx.ID; id != dom.NilNode; id = d.Parent(id) {
+		if d.Kind(id) != dom.KindElement {
+			continue
+		}
+		for a := d.FirstAttr(id); a != dom.NilNode; a = d.NextAttr(a) {
+			if d.LocalName(a) == "lang" && d.NamespaceURI(a) == dom.XMLNamespaceURI {
+				return langMatches(d.Value(a), want)
+			}
+		}
+	}
+	return false
+}
+
+func langMatches(xmlLang, want string) bool {
+	if xmlLang == "" {
+		return false
+	}
+	xl, w := strings.ToLower(xmlLang), strings.ToLower(want)
+	return xl == w || strings.HasPrefix(xl, w+"-")
+}
+
+// IDIndex resolves id() lookups. The engine treats attributes named "id"
+// (in no namespace) as ID-typed, matching the paper's generated documents;
+// see DESIGN.md "Known deviations". Indexes are built on first use and
+// cached per document.
+type IDIndex struct {
+	mu   sync.Mutex
+	docs map[uint64]map[string]dom.NodeID
+}
+
+// NewIDIndex returns an empty index cache.
+func NewIDIndex() *IDIndex { return &IDIndex{docs: make(map[uint64]map[string]dom.NodeID)} }
+
+// Lookup dereferences one ID string within the given document, returning
+// the element carrying id="s", if any.
+func (ix *IDIndex) Lookup(d dom.Document, s string) (dom.Node, bool) {
+	ix.mu.Lock()
+	m, ok := ix.docs[d.DocID()]
+	if !ok {
+		m = buildIDMap(d)
+		ix.docs[d.DocID()] = m
+	}
+	ix.mu.Unlock()
+	id, ok := m[s]
+	if !ok {
+		return dom.Node{}, false
+	}
+	return dom.Node{Doc: d, ID: id}, true
+}
+
+func buildIDMap(d dom.Document) map[string]dom.NodeID {
+	m := make(map[string]dom.NodeID)
+	n := dom.NodeID(d.NodeCount())
+	for id := dom.NodeID(1); id <= n; id++ {
+		if d.Kind(id) != dom.KindElement {
+			continue
+		}
+		for a := d.FirstAttr(id); a != dom.NilNode; a = d.NextAttr(a) {
+			if d.LocalName(a) == "id" && d.NamespaceURI(a) == "" {
+				if _, dup := m[d.Value(a)]; !dup {
+					m[d.Value(a)] = id // first element wins, per spec
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Tokenize splits a string on XML whitespace, for id() over non-node-set
+// arguments.
+func Tokenize(s string) []string { return strings.FieldsFunc(s, isXMLSpace) }
+
+func isXMLSpace(r rune) bool {
+	return r == ' ' || r == '\t' || r == '\r' || r == '\n'
+}
+
+// ID implements the id() function: value is either a node-set (each node's
+// string-value is an ID token list) or any other value (converted to string
+// and tokenized). The result is sorted into document order and
+// duplicate-free.
+func ID(ix *IDIndex, d dom.Document, value xval.Value) []dom.Node {
+	var tokens []string
+	if value.IsNodeSet() {
+		for _, n := range value.Nodes {
+			tokens = append(tokens, Tokenize(n.StringValue())...)
+		}
+	} else {
+		tokens = Tokenize(value.String())
+	}
+	var out []dom.Node
+	for _, tok := range tokens {
+		if n, ok := ix.Lookup(d, tok); ok {
+			out = append(out, n)
+		}
+	}
+	return SortDedup(out)
+}
+
+// NameIndex resolves element-name lookups for the IndexScan physical
+// operator (the "indexes" item of the paper's future-work list, section 7):
+// for each document it lazily builds a map from expanded element names to
+// the document-ordered list of matching elements, plus the list of all
+// elements for wildcard scans.
+type NameIndex struct {
+	mu   sync.Mutex
+	docs map[uint64]*nameIndexEntry
+}
+
+type nameIndexEntry struct {
+	byName map[nameKey][]dom.NodeID
+	all    []dom.NodeID
+}
+
+type nameKey struct {
+	uri, local string
+}
+
+// NewNameIndex returns an empty index cache.
+func NewNameIndex() *NameIndex { return &NameIndex{docs: map[uint64]*nameIndexEntry{}} }
+
+// GlobalNames is the process-wide name index: like a real system's index
+// structures it belongs to the stored document, not to a compiled query,
+// so repeated compilations share it. Entries are keyed by document
+// identity and live for the process (documents are not structurally
+// updatable; value updates do not change names).
+var GlobalNames = NewNameIndex()
+
+// Elements returns the document-ordered elements with the given expanded
+// name; local "*" matches any local name within uri, and uri "*" any name
+// at all.
+func (ix *NameIndex) Elements(d dom.Document, uri, local string) []dom.NodeID {
+	ix.mu.Lock()
+	e, ok := ix.docs[d.DocID()]
+	if !ok {
+		e = buildNameIndex(d)
+		ix.docs[d.DocID()] = e
+	}
+	ix.mu.Unlock()
+	if uri == "*" {
+		return e.all
+	}
+	return e.byName[nameKey{uri: uri, local: local}]
+}
+
+func buildNameIndex(d dom.Document) *nameIndexEntry {
+	e := &nameIndexEntry{byName: map[nameKey][]dom.NodeID{}}
+	n := dom.NodeID(d.NodeCount())
+	for id := dom.NodeID(1); id <= n; id++ {
+		if d.Kind(id) != dom.KindElement {
+			continue
+		}
+		e.all = append(e.all, id)
+		k := nameKey{uri: d.NamespaceURI(id), local: d.LocalName(id)}
+		e.byName[k] = append(e.byName[k], id)
+		wild := nameKey{uri: d.NamespaceURI(id), local: "*"}
+		e.byName[wild] = append(e.byName[wild], id)
+	}
+	return e
+}

@@ -1,0 +1,84 @@
+package xpath
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics throws random character soup at the parser; every
+// input must either parse or return a SyntaxError — never panic.
+func TestParserNeverPanics(t *testing.T) {
+	alphabet := []string{
+		"a", "b", "::", "/", "//", "[", "]", "(", ")", "@", "*", "|",
+		"'lit'", "\"q\"", "1", ".5", "..", ".", "$v", ",", "+", "-",
+		"=", "!=", "<", "<=", ">", ">=", "and", "or", "div", "mod",
+		"count", "position", "last", "child", "descendant", ":", "!",
+		"text()", "node()", " ", "\t", "xmlns", "#", "%", "~",
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		var sb strings.Builder
+		n := 1 + rng.Intn(12)
+		for j := 0; j < n; j++ {
+			sb.WriteString(alphabet[rng.Intn(len(alphabet))])
+		}
+		input := sb.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", input, r)
+				}
+			}()
+			e, err := Parse(input)
+			if err == nil {
+				// Valid results must render and re-parse stably.
+				if _, err2 := Parse(e.String()); err2 != nil {
+					t.Fatalf("rendered form of %q does not re-parse: %q: %v", input, e.String(), err2)
+				}
+			}
+		}()
+	}
+}
+
+// TestParserRandomBytes feeds raw bytes (including non-ASCII and control
+// characters).
+func TestParserRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 3000; i++ {
+		n := 1 + rng.Intn(24)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = byte(rng.Intn(256))
+		}
+		input := string(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", input, r)
+				}
+			}()
+			_, _ = Parse(input)
+		}()
+	}
+}
+
+// TestLexQNamePrefixes covers the QName scanning corners.
+func TestLexQNamePrefixes(t *testing.T) {
+	cases := map[string]bool{
+		"a:b":     true,
+		"a:*":     true,
+		"a:b:c":   false, // second colon is not part of a QName
+		"a::b":    false, // unknown axis 'a'
+		"child:b": true,  // prefix happens to spell an axis name
+	}
+	for expr, ok := range cases {
+		_, err := Parse(expr)
+		if ok && err != nil {
+			t.Errorf("Parse(%q): unexpected error %v", expr, err)
+		}
+		if !ok && err == nil {
+			t.Errorf("Parse(%q): expected error", expr)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates lexical token kinds of the XPath 1.0 grammar.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokNumber
+	tokLiteral
+	tokName     // NCName or QName (element/function/axis names)
+	tokVariable // $qname
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokDot
+	tokDotDot
+	tokAt
+	tokComma
+	tokColonColon
+	tokSlash
+	tokSlashSlash
+	tokPipe
+	tokPlus
+	tokMinus
+	tokEq
+	tokNe
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokStar // multiplication or wildcard, disambiguated by parser context
+	tokAnd  // operator names, produced by the disambiguation rule
+	tokOr
+	tokDiv
+	tokMod
+)
+
+var tokNames = map[tokKind]string{
+	tokEOF: "end of expression", tokNumber: "number", tokLiteral: "literal",
+	tokName: "name", tokVariable: "variable", tokLParen: "'('",
+	tokRParen: "')'", tokLBracket: "'['", tokRBracket: "']'",
+	tokDot: "'.'", tokDotDot: "'..'", tokAt: "'@'", tokComma: "','",
+	tokColonColon: "'::'", tokSlash: "'/'", tokSlashSlash: "'//'",
+	tokPipe: "'|'", tokPlus: "'+'", tokMinus: "'-'", tokEq: "'='",
+	tokNe: "'!='", tokLt: "'<'", tokLe: "'<='", tokGt: "'>'",
+	tokGe: "'>='", tokStar: "'*'", tokAnd: "'and'", tokOr: "'or'",
+	tokDiv: "'div'", tokMod: "'mod'",
+}
+
+type token struct {
+	kind tokKind
+	pos  int
+	text string  // names, literals
+	num  float64 // tokNumber
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokName, tokVariable:
+		return fmt.Sprintf("%s %q", tokNames[t.kind], t.text)
+	case tokNumber:
+		return fmt.Sprintf("number %v", t.num)
+	}
+	return tokNames[t.kind]
+}
+
+// SyntaxError reports a lexical or grammatical error with its character
+// offset within the expression.
+type SyntaxError struct {
+	Expr string
+	Pos  int
+	Msg  string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xpath: syntax error at offset %d in %q: %s", e.Pos, e.Expr, e.Msg)
+}
+
+// lex tokenizes the expression, applying the disambiguation rules of spec
+// section 3.7: '*' is the multiplication operator (and NCNames are operator
+// names) exactly when the preceding token can end an operand.
+func lex(expr string) ([]token, error) {
+	var toks []token
+	i := 0
+	errf := func(pos int, format string, args ...any) error {
+		return &SyntaxError{Expr: expr, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	}
+	// precedingAllowsOperator reports whether the previous token puts the
+	// lexer in "operator expected" state.
+	precedingAllowsOperator := func() bool {
+		if len(toks) == 0 {
+			return false
+		}
+		switch toks[len(toks)-1].kind {
+		case tokAt, tokColonColon, tokLParen, tokLBracket, tokComma,
+			tokAnd, tokOr, tokDiv, tokMod, tokStar, tokSlash, tokSlashSlash,
+			tokPipe, tokPlus, tokMinus, tokEq, tokNe, tokLt, tokLe, tokGt, tokGe:
+			return false
+		}
+		return true
+	}
+	for i < len(expr) {
+		c := expr[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, pos: i})
+			i++
+		case c == '[':
+			toks = append(toks, token{kind: tokLBracket, pos: i})
+			i++
+		case c == ']':
+			toks = append(toks, token{kind: tokRBracket, pos: i})
+			i++
+		case c == '@':
+			toks = append(toks, token{kind: tokAt, pos: i})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, pos: i})
+			i++
+		case c == '|':
+			toks = append(toks, token{kind: tokPipe, pos: i})
+			i++
+		case c == '+':
+			toks = append(toks, token{kind: tokPlus, pos: i})
+			i++
+		case c == '-':
+			toks = append(toks, token{kind: tokMinus, pos: i})
+			i++
+		case c == '=':
+			toks = append(toks, token{kind: tokEq, pos: i})
+			i++
+		case c == '!':
+			if i+1 >= len(expr) || expr[i+1] != '=' {
+				return nil, errf(i, "'!' must be followed by '='")
+			}
+			toks = append(toks, token{kind: tokNe, pos: i})
+			i += 2
+		case c == '<':
+			if i+1 < len(expr) && expr[i+1] == '=' {
+				toks = append(toks, token{kind: tokLe, pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokLt, pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(expr) && expr[i+1] == '=' {
+				toks = append(toks, token{kind: tokGe, pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokGt, pos: i})
+				i++
+			}
+		case c == '/':
+			if i+1 < len(expr) && expr[i+1] == '/' {
+				toks = append(toks, token{kind: tokSlashSlash, pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokSlash, pos: i})
+				i++
+			}
+		case c == ':':
+			if i+1 < len(expr) && expr[i+1] == ':' {
+				toks = append(toks, token{kind: tokColonColon, pos: i})
+				i += 2
+			} else {
+				return nil, errf(i, "unexpected ':'")
+			}
+		case c == '*':
+			if precedingAllowsOperator() {
+				toks = append(toks, token{kind: tokStar, pos: i})
+			} else {
+				// Wildcard name test; represented as a name token "*".
+				toks = append(toks, token{kind: tokName, pos: i, text: "*"})
+			}
+			i++
+		case c == '"' || c == '\'':
+			end := strings.IndexByte(expr[i+1:], c)
+			if end < 0 {
+				return nil, errf(i, "unterminated literal")
+			}
+			toks = append(toks, token{kind: tokLiteral, pos: i, text: expr[i+1 : i+1+end]})
+			i += end + 2
+		case c >= '0' && c <= '9' || c == '.' && i+1 < len(expr) && expr[i+1] >= '0' && expr[i+1] <= '9':
+			start := i
+			for i < len(expr) && expr[i] >= '0' && expr[i] <= '9' {
+				i++
+			}
+			if i < len(expr) && expr[i] == '.' {
+				i++
+				for i < len(expr) && expr[i] >= '0' && expr[i] <= '9' {
+					i++
+				}
+			}
+			var f float64
+			if _, err := fmt.Sscanf(expr[start:i], "%g", &f); err != nil {
+				return nil, errf(start, "malformed number %q", expr[start:i])
+			}
+			toks = append(toks, token{kind: tokNumber, pos: start, num: f})
+		case c == '.':
+			if i+1 < len(expr) && expr[i+1] == '.' {
+				toks = append(toks, token{kind: tokDotDot, pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokDot, pos: i})
+				i++
+			}
+		case c == '$':
+			i++
+			name, n := scanQName(expr[i:])
+			if n == 0 {
+				return nil, errf(i, "expected variable name after '$'")
+			}
+			toks = append(toks, token{kind: tokVariable, pos: i - 1, text: name})
+			i += n
+		case isNCNameStart(c):
+			name, n := scanQName(expr[i:])
+			start := i
+			i += n
+			if precedingAllowsOperator() {
+				switch name {
+				case "and":
+					toks = append(toks, token{kind: tokAnd, pos: start})
+					continue
+				case "or":
+					toks = append(toks, token{kind: tokOr, pos: start})
+					continue
+				case "div":
+					toks = append(toks, token{kind: tokDiv, pos: start})
+					continue
+				case "mod":
+					toks = append(toks, token{kind: tokMod, pos: start})
+					continue
+				}
+				return nil, errf(start, "expected an operator, found name %q", name)
+			}
+			toks = append(toks, token{kind: tokName, pos: start, text: name})
+		default:
+			return nil, errf(i, "unexpected character %q", c)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(expr)})
+	return toks, nil
+}
+
+func isNCNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isNCNameChar(c byte) bool {
+	return isNCNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+// scanQName scans NCName (':' NCName)? (also accepts "prefix:*" — the
+// parser validates the form) and returns the text and byte length.
+func scanQName(s string) (string, int) {
+	i := 0
+	for i < len(s) && isNCNameChar(s[i]) {
+		i++
+	}
+	if i == 0 {
+		return "", 0
+	}
+	// A ':' continues the QName unless it begins the '::' axis separator.
+	if i < len(s) && s[i] == ':' && i+1 < len(s) {
+		switch {
+		case s[i+1] == '*':
+			return s[:i+2], i + 2
+		case isNCNameStart(s[i+1]):
+			j := i + 1
+			for j < len(s) && isNCNameChar(s[j]) {
+				j++
+			}
+			return s[:j], j
+		}
+	}
+	return s[:i], i
+}

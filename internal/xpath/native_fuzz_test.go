@@ -1,0 +1,33 @@
+package xpath
+
+import "testing"
+
+// FuzzParse is a native fuzz target: any input must either parse (and then
+// render/re-parse stably) or fail with a SyntaxError — never panic. The
+// seed corpus covers every syntactic family; `go test` runs the seeds, and
+// `go test -fuzz=FuzzParse ./internal/xpath` explores further.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"/a/b/c", "//x[@k='v']", "a | b", "count(//a) > 1",
+		"(//a)[last()]", "-1 + 2 * 3", "a[position() mod 2 = 0]",
+		"id('x')/..", "processing-instruction('t')", "$v/a//b",
+		"ancestor-or-self::*[1]", "'unterminated", "a[", "::",
+		"self::node()", "ns:*", "..//@id", "a div div",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := Parse(input)
+		if err != nil {
+			return
+		}
+		rendered := e.String()
+		e2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendered form %q of %q does not re-parse: %v", rendered, input, err)
+		}
+		if e2.String() != rendered {
+			t.Fatalf("rendering unstable: %q -> %q -> %q", input, rendered, e2.String())
+		}
+	})
+}

@@ -1,0 +1,407 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+
+	"natix/internal/dom"
+)
+
+// Parse parses a complete XPath 1.0 expression.
+func Parse(expr string) (Expr, error) {
+	toks, err := lex(expr)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{expr: expr, toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected %s after expression", p.cur())
+	}
+	return e, nil
+}
+
+// MustParse parses or panics; for tests and static query tables.
+func MustParse(expr string) Expr {
+	e, err := Parse(expr)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	expr string
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Expr: p.expr, Pos: p.cur().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if p.cur().kind != k {
+		return token{}, p.errf("expected %s, found %s", tokNames[k], p.cur())
+	}
+	return p.next(), nil
+}
+
+// ---- expression grammar (sections 3.1-3.5), all left-associative ----
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(0) }
+
+// binary precedence levels, lowest first.
+var precLevels = [][]struct {
+	kind tokKind
+	op   BinOp
+}{
+	{{tokOr, OpOr}},
+	{{tokAnd, OpAnd}},
+	{{tokEq, OpEq}, {tokNe, OpNe}},
+	{{tokLt, OpLt}, {tokLe, OpLe}, {tokGt, OpGt}, {tokGe, OpGe}},
+	{{tokPlus, OpAdd}, {tokMinus, OpSub}},
+	{{tokStar, OpMul}, {tokDiv, OpDiv}, {tokMod, OpMod}},
+}
+
+func (p *parser) parseBinary(level int) (Expr, error) {
+	if level == len(precLevels) {
+		return p.parseUnary()
+	}
+	left, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, cand := range precLevels[level] {
+			if p.cur().kind == cand.kind {
+				p.next()
+				right, err := p.parseBinary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				left = &Binary{Op: cand.op, Left: left, Right: right}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.cur().kind == tokMinus {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{X: x}, nil
+	}
+	return p.parseUnion()
+}
+
+func (p *parser) parseUnion() (Expr, error) {
+	first, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokPipe {
+		return first, nil
+	}
+	u := &Union{Terms: []Expr{first}}
+	for p.cur().kind == tokPipe {
+		p.next()
+		t, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		u.Terms = append(u.Terms, t)
+	}
+	return u, nil
+}
+
+// nodeTypeNames are the four node-type tests; a name followed by '(' is a
+// node test if and only if it is one of these (spec 3.7).
+var nodeTypeNames = map[string]dom.TestKind{
+	"node":                   dom.TestAnyNode,
+	"text":                   dom.TestText,
+	"comment":                dom.TestComment,
+	"processing-instruction": dom.TestPI,
+}
+
+// startsFilter reports whether the current token begins a FilterExpr (as
+// opposed to a LocationPath).
+func (p *parser) startsFilter() bool {
+	switch p.cur().kind {
+	case tokVariable, tokLiteral, tokNumber, tokLParen:
+		return true
+	case tokName:
+		if p.peek().kind != tokLParen {
+			return false
+		}
+		_, isNodeType := nodeTypeNames[p.cur().text]
+		return !isNodeType
+	}
+	return false
+}
+
+// parsePath parses PathExpr: LocationPath, or FilterExpr optionally
+// followed by '/' | '//' RelativeLocationPath (paper section 3.5).
+func (p *parser) parsePath() (Expr, error) {
+	if !p.startsFilter() {
+		return p.parseLocationPath()
+	}
+	f, err := p.parseFilter()
+	if err != nil {
+		return nil, err
+	}
+	var rel *LocationPath
+	switch p.cur().kind {
+	case tokSlash:
+		p.next()
+		rel, err = p.parseRelativePath(nil)
+	case tokSlashSlash:
+		p.next()
+		rel, err = p.parseRelativePath([]*Step{descOrSelfStep()})
+	default:
+		return f, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Path{Base: f, Rel: rel}, nil
+}
+
+func (p *parser) parseFilter() (Expr, error) {
+	prim, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokLBracket {
+		return prim, nil
+	}
+	f := &Filter{Primary: prim}
+	for p.cur().kind == tokLBracket {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		f.Preds = append(f.Preds, pred)
+	}
+	return f, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch t := p.cur(); t.kind {
+	case tokVariable:
+		p.next()
+		return &VarRef{Name: t.text}, nil
+	case tokLiteral:
+		p.next()
+		return &Literal{Value: t.text}, nil
+	case tokNumber:
+		p.next()
+		return &Number{Value: t.num}, nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokName:
+		name := t.text
+		p.next()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		call := &FuncCall{Name: name}
+		if p.cur().kind != tokRParen {
+			for {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.cur().kind != tokComma {
+					break
+				}
+				p.next()
+			}
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+	return nil, p.errf("expected a primary expression, found %s", p.cur())
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	if _, err := p.expect(tokLBracket); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func descOrSelfStep() *Step {
+	return &Step{Axis: dom.AxisDescendantOrSelf, Test: NodeTest{Kind: dom.TestAnyNode}}
+}
+
+// startsStep reports whether the current token can begin a location step.
+func (p *parser) startsStep() bool {
+	switch p.cur().kind {
+	case tokDot, tokDotDot, tokAt, tokName:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseLocationPath() (Expr, error) {
+	switch p.cur().kind {
+	case tokSlash:
+		p.next()
+		if !p.startsStep() {
+			return &LocationPath{Absolute: true}, nil
+		}
+		lp, err := p.parseRelativePath(nil)
+		if err != nil {
+			return nil, err
+		}
+		lp.Absolute = true
+		return lp, nil
+	case tokSlashSlash:
+		p.next()
+		lp, err := p.parseRelativePath([]*Step{descOrSelfStep()})
+		if err != nil {
+			return nil, err
+		}
+		lp.Absolute = true
+		return lp, nil
+	}
+	return p.parseRelativePath(nil)
+}
+
+// parseRelativePath parses Step (('/'|'//') Step)*, prepending any steps
+// already expanded from a leading '//'.
+func (p *parser) parseRelativePath(prefix []*Step) (*LocationPath, error) {
+	lp := &LocationPath{Steps: prefix}
+	for {
+		s, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		lp.Steps = append(lp.Steps, s)
+		switch p.cur().kind {
+		case tokSlash:
+			p.next()
+		case tokSlashSlash:
+			p.next()
+			lp.Steps = append(lp.Steps, descOrSelfStep())
+		default:
+			return lp, nil
+		}
+	}
+}
+
+func (p *parser) parseStep() (*Step, error) {
+	switch p.cur().kind {
+	case tokDot:
+		p.next()
+		return &Step{Axis: dom.AxisSelf, Test: NodeTest{Kind: dom.TestAnyNode}}, nil
+	case tokDotDot:
+		p.next()
+		return &Step{Axis: dom.AxisParent, Test: NodeTest{Kind: dom.TestAnyNode}}, nil
+	}
+	axis := dom.AxisChild
+	switch p.cur().kind {
+	case tokAt:
+		p.next()
+		axis = dom.AxisAttribute
+	case tokName:
+		if p.peek().kind == tokColonColon {
+			a, ok := dom.AxisByName(p.cur().text)
+			if !ok {
+				return nil, p.errf("unknown axis %q", p.cur().text)
+			}
+			axis = a
+			p.next()
+			p.next()
+		}
+	}
+	test, err := p.parseNodeTest()
+	if err != nil {
+		return nil, err
+	}
+	s := &Step{Axis: axis, Test: test}
+	for p.cur().kind == tokLBracket {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		s.Preds = append(s.Preds, pred)
+	}
+	return s, nil
+}
+
+func (p *parser) parseNodeTest() (NodeTest, error) {
+	t, err := p.expect(tokName)
+	if err != nil {
+		return NodeTest{}, err
+	}
+	name := t.text
+	// Node-type tests.
+	if kind, ok := nodeTypeNames[name]; ok && p.cur().kind == tokLParen {
+		p.next()
+		nt := NodeTest{Kind: kind}
+		if kind == dom.TestPI && p.cur().kind == tokLiteral {
+			nt.Target = p.next().text
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return NodeTest{}, err
+		}
+		return nt, nil
+	}
+	if p.cur().kind == tokLParen {
+		return NodeTest{}, p.errf("%q is not a node type", name)
+	}
+	switch {
+	case name == "*":
+		return NodeTest{Kind: dom.TestAnyName}, nil
+	case strings.HasSuffix(name, ":*"):
+		return NodeTest{Kind: dom.TestNSName, Prefix: strings.TrimSuffix(name, ":*")}, nil
+	default:
+		prefix, local := "", name
+		if i := strings.IndexByte(name, ':'); i >= 0 {
+			prefix, local = name[:i], name[i+1:]
+		}
+		return NodeTest{Kind: dom.TestName, Prefix: prefix, Local: local}, nil
+	}
+}

@@ -1,0 +1,404 @@
+// Package xval implements the XPath 1.0 value model: the four basic types
+// (node-set, boolean, number, string) and the implicit conversions between
+// them as defined by the W3C XPath 1.0 recommendation (sections 3.4, 4.2,
+// 4.3, 4.4). It is shared by the algebraic engine, the subscript virtual
+// machine, and the baseline interpreters so that all evaluators agree on
+// coercion semantics.
+package xval
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"natix/internal/dom"
+)
+
+// Kind identifies one of the four basic XPath 1.0 types.
+type Kind uint8
+
+const (
+	// KindNodeSet is an ordered sequence of document nodes. XPath 1.0
+	// node-sets are formally unordered; we keep them in the order the
+	// producing operator delivers them (see paper section 2.1).
+	KindNodeSet Kind = iota
+	// KindBoolean is an XPath boolean.
+	KindBoolean
+	// KindNumber is an IEEE 754 double.
+	KindNumber
+	// KindString is a string of characters.
+	KindString
+)
+
+// String returns the XPath name of the type, as reported by diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindNodeSet:
+		return "node-set"
+	case KindBoolean:
+		return "boolean"
+	case KindNumber:
+		return "number"
+	case KindString:
+		return "string"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is a single XPath 1.0 value. The zero Value is an empty node-set.
+type Value struct {
+	Kind  Kind
+	B     bool
+	N     float64
+	S     string
+	Nodes []dom.Node
+}
+
+// NodeSet returns a node-set value holding the given nodes.
+func NodeSet(nodes []dom.Node) Value { return Value{Kind: KindNodeSet, Nodes: nodes} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{Kind: KindBoolean, B: b} }
+
+// Num returns a number value.
+func Num(n float64) Value { return Value{Kind: KindNumber, N: n} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{Kind: KindString, S: s} }
+
+// SingleNode returns a node-set value holding exactly one node.
+func SingleNode(n dom.Node) Value { return Value{Kind: KindNodeSet, Nodes: []dom.Node{n}} }
+
+// IsNodeSet reports whether the value is a node-set.
+func (v Value) IsNodeSet() bool { return v.Kind == KindNodeSet }
+
+// Boolean converts the value to a boolean using the rules of the XPath
+// boolean() function (spec section 4.3): a number is true iff it is neither
+// zero nor NaN, a node-set is true iff it is non-empty, a string is true iff
+// its length is non-zero.
+func (v Value) Boolean() bool {
+	switch v.Kind {
+	case KindBoolean:
+		return v.B
+	case KindNumber:
+		return v.N != 0 && !math.IsNaN(v.N)
+	case KindString:
+		return len(v.S) != 0
+	case KindNodeSet:
+		return len(v.Nodes) != 0
+	}
+	return false
+}
+
+// Number converts the value to a number using the rules of the XPath
+// number() function (spec section 4.4). A node-set is first converted to a
+// string as if by string().
+func (v Value) Number() float64 {
+	switch v.Kind {
+	case KindNumber:
+		return v.N
+	case KindBoolean:
+		if v.B {
+			return 1
+		}
+		return 0
+	case KindString:
+		return ParseNumber(v.S)
+	case KindNodeSet:
+		return ParseNumber(v.String())
+	}
+	return math.NaN()
+}
+
+// String converts the value to a string using the rules of the XPath
+// string() function (spec section 4.2). A node-set is converted to the
+// string-value of its first node (they are kept in document order by the
+// producers that feed conversions), or "" if it is empty.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindString:
+		return v.S
+	case KindBoolean:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	case KindNumber:
+		return FormatNumber(v.N)
+	case KindNodeSet:
+		if len(v.Nodes) == 0 {
+			return ""
+		}
+		return v.Nodes[0].StringValue()
+	}
+	return ""
+}
+
+// Convert coerces the value to the requested kind. Converting to a node-set
+// is only the identity conversion; XPath 1.0 defines no conversion into
+// node-sets, and callers must not request one for a non-node-set value.
+func (v Value) Convert(k Kind) Value {
+	if v.Kind == k {
+		return v
+	}
+	switch k {
+	case KindBoolean:
+		return Bool(v.Boolean())
+	case KindNumber:
+		return Num(v.Number())
+	case KindString:
+		return Str(v.String())
+	}
+	panic(fmt.Sprintf("xval: cannot convert %s to %s", v.Kind, k))
+}
+
+// ParseNumber implements the string-to-number conversion of the XPath
+// number() function: optional whitespace, an optional minus sign, and a
+// decimal Number production. Anything else (including exponents, plus signs
+// and empty strings) yields NaN.
+func ParseNumber(s string) float64 {
+	s = strings.Trim(s, " \t\r\n")
+	if s == "" {
+		return math.NaN()
+	}
+	body := s
+	neg := false
+	if body[0] == '-' {
+		neg = true
+		body = body[1:]
+	}
+	if !validXPathNumber(body) {
+		return math.NaN()
+	}
+	f, err := strconv.ParseFloat(body, 64)
+	if err != nil {
+		return math.NaN()
+	}
+	if neg {
+		f = -f
+	}
+	return f
+}
+
+// validXPathNumber reports whether s matches Digits ('.' Digits?)? | '.' Digits.
+func validXPathNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	i := 0
+	digits := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+		digits++
+	}
+	if i == len(s) {
+		return digits > 0
+	}
+	if s[i] != '.' {
+		return false
+	}
+	i++
+	frac := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+		frac++
+	}
+	return i == len(s) && digits+frac > 0
+}
+
+// FormatNumber implements the number-to-string conversion of the XPath
+// string() function: NaN is "NaN", infinities are "Infinity"/"-Infinity",
+// integers are printed without a decimal point or exponent, and other
+// numbers use the shortest decimal representation without an exponent.
+func FormatNumber(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "Infinity"
+	case math.IsInf(f, -1):
+		return "-Infinity"
+	case f == 0:
+		return "0" // covers negative zero as well
+	}
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	s := strconv.FormatFloat(f, 'f', -1, 64)
+	// FormatFloat 'f' never emits an exponent; trim a trailing ".0" if the
+	// shortest representation produced one (it does not, but stay safe).
+	return s
+}
+
+// Round implements the XPath round() function: the closest integer, with
+// halves rounded towards positive infinity, and the IEEE special cases
+// (NaN, infinities, and negative zero preserved).
+func Round(f float64) float64 {
+	switch {
+	case math.IsNaN(f) || math.IsInf(f, 0):
+		return f
+	case f >= -0.5 && f < 0:
+		return math.Copysign(0, -1)
+	}
+	return math.Floor(f + 0.5)
+}
+
+// CompareOp is a comparison operator of the XPath expression grammar.
+type CompareOp uint8
+
+// Comparison operators.
+const (
+	OpEq CompareOp = iota // =
+	OpNe                  // !=
+	OpLt                  // <
+	OpLe                  // <=
+	OpGt                  // >
+	OpGe                  // >=
+)
+
+// String returns the XPath spelling of the operator.
+func (op CompareOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return fmt.Sprintf("CompareOp(%d)", uint8(op))
+}
+
+// Negate returns the operator with swapped operand order (a op b == b op.Negate() a).
+func (op CompareOp) Negate() CompareOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	}
+	return op
+}
+
+func cmpNumbers(op CompareOp, a, b float64) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	}
+	return false
+}
+
+// Compare implements the full comparison semantics of XPath 1.0 section 3.4,
+// including the existential semantics when one or both operands are
+// node-sets. It is used by the baseline interpreters and by constant
+// folding; the algebraic engine translates node-set comparisons into
+// semi-join/anti-join plans instead (paper section 3.6.2).
+func Compare(op CompareOp, a, b Value) bool {
+	if a.IsNodeSet() && b.IsNodeSet() {
+		// Exists a pair of nodes whose string-values compare true. For
+		// relational operators the comparison is on numbers.
+		for _, na := range a.Nodes {
+			sa := na.StringValue()
+			for _, nb := range b.Nodes {
+				sb := nb.StringValue()
+				if op == OpEq || op == OpNe {
+					if cmpStringsEq(op, sa, sb) {
+						return true
+					}
+				} else if cmpNumbers(op, ParseNumber(sa), ParseNumber(sb)) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if a.IsNodeSet() || b.IsNodeSet() {
+		ns, other := a, b
+		effOp := op
+		if b.IsNodeSet() {
+			ns, other = b, a
+			effOp = op.Negate()
+		}
+		switch other.Kind {
+		case KindBoolean:
+			return cmpBooleansEq(effOp, ns.Boolean(), other.B)
+		case KindNumber:
+			for _, n := range ns.Nodes {
+				if cmpNumbers(effOp, ParseNumber(n.StringValue()), other.N) {
+					return true
+				}
+			}
+			return false
+		default: // string
+			for _, n := range ns.Nodes {
+				sv := n.StringValue()
+				if effOp == OpEq || effOp == OpNe {
+					if cmpStringsEq(effOp, sv, other.S) {
+						return true
+					}
+				} else if cmpNumbers(effOp, ParseNumber(sv), ParseNumber(other.S)) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	// Neither operand is a node-set.
+	if op == OpEq || op == OpNe {
+		switch {
+		case a.Kind == KindBoolean || b.Kind == KindBoolean:
+			return cmpBooleansEq(op, a.Boolean(), b.Boolean())
+		case a.Kind == KindNumber || b.Kind == KindNumber:
+			return cmpNumbers(op, a.Number(), b.Number())
+		default:
+			return cmpStringsEq(op, a.String(), b.String())
+		}
+	}
+	return cmpNumbers(op, a.Number(), b.Number())
+}
+
+func cmpStringsEq(op CompareOp, a, b string) bool {
+	if op == OpEq {
+		return a == b
+	}
+	return a != b
+}
+
+func cmpBooleansEq(op CompareOp, a, b bool) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	}
+	// Relational comparison on booleans converts to numbers (3.4).
+	na, nb := 0.0, 0.0
+	if a {
+		na = 1
+	}
+	if b {
+		nb = 1
+	}
+	return cmpNumbers(op, na, nb)
+}

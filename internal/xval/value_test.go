@@ -1,0 +1,276 @@
+package xval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"natix/internal/dom"
+)
+
+func TestFormatNumber(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "Infinity"},
+		{math.Inf(-1), "-Infinity"},
+		{0, "0"},
+		{math.Copysign(0, -1), "0"},
+		{1, "1"},
+		{-1, "-1"},
+		{42, "42"},
+		{1.5, "1.5"},
+		{-0.25, "-0.25"},
+		{1e15, "1000000000000000"},
+		{123456789, "123456789"},
+		{0.1, "0.1"},
+	}
+	for _, tc := range tests {
+		if got := FormatNumber(tc.in); got != tc.want {
+			t.Errorf("FormatNumber(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseNumber(t *testing.T) {
+	tests := []struct {
+		in   string
+		want float64
+	}{
+		{"1", 1},
+		{" 42 ", 42},
+		{"-3.5", -3.5},
+		{".5", 0.5},
+		{"5.", 5},
+		{"-.5", -0.5},
+		{"0", 0},
+		{"007", 7},
+	}
+	for _, tc := range tests {
+		if got := ParseNumber(tc.in); got != tc.want {
+			t.Errorf("ParseNumber(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", " ", "abc", "1e3", "+1", "1.2.3", "--1", "1a", ".", "-", "-."} {
+		if got := ParseNumber(bad); !math.IsNaN(got) {
+			t.Errorf("ParseNumber(%q) = %v, want NaN", bad, got)
+		}
+	}
+}
+
+// Property: every number formatted by FormatNumber (excluding specials and
+// huge magnitudes that require exponents) parses back to a close value.
+func TestNumberRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) >= 1e15 {
+			return true
+		}
+		s := FormatNumber(x)
+		neg := x < 0
+		body := s
+		if neg {
+			body = s[1:]
+		}
+		if !validXPathNumber(body) {
+			return false
+		}
+		got := ParseNumber(s)
+		if x == 0 {
+			return got == 0
+		}
+		return math.Abs(got-x) <= math.Abs(x)*1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRound(t *testing.T) {
+	tests := []struct {
+		in, want float64
+	}{
+		{2.5, 3}, {2.4, 2}, {2.6, 3},
+		{-2.5, -2}, {-2.6, -3},
+		{0, 0}, {1, 1},
+	}
+	for _, tc := range tests {
+		if got := Round(tc.in); got != tc.want {
+			t.Errorf("Round(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Round(math.NaN())) {
+		t.Error("Round(NaN) should be NaN")
+	}
+	if got := Round(-0.25); !(got == 0 && math.Signbit(got)) {
+		t.Errorf("Round(-0.25) = %v, want -0", got)
+	}
+	if !math.IsInf(Round(math.Inf(1)), 1) {
+		t.Error("Round(+Inf) should be +Inf")
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if !Str("x").Boolean() || Str("").Boolean() {
+		t.Error("string boolean conversion")
+	}
+	if !Num(-1).Boolean() || Num(0).Boolean() || Num(math.NaN()).Boolean() {
+		t.Error("number boolean conversion")
+	}
+	if Bool(true).Number() != 1 || Bool(false).Number() != 0 {
+		t.Error("boolean number conversion")
+	}
+	if Bool(true).String() != "true" || Bool(false).String() != "false" {
+		t.Error("boolean string conversion")
+	}
+	if NodeSet(nil).Boolean() {
+		t.Error("empty node-set should be false")
+	}
+	if !math.IsNaN(Str("abc").Number()) {
+		t.Error("number('abc') should be NaN")
+	}
+	if got := NodeSet(nil).String(); got != "" {
+		t.Errorf("string(empty node-set) = %q", got)
+	}
+}
+
+func nodeSetFrom(t *testing.T, xml string, name string) Value {
+	t.Helper()
+	d, err := dom.ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []dom.Node
+	for id := dom.NodeID(1); int(id) <= d.NodeCount(); id++ {
+		if d.Kind(id) == dom.KindElement && d.LocalName(id) == name {
+			nodes = append(nodes, dom.Node{Doc: d, ID: id})
+		}
+	}
+	return NodeSet(nodes)
+}
+
+func TestCompareNodeSets(t *testing.T) {
+	doc := `<r><a>1</a><a>2</a><b>2</b><b>3</b><c>x</c></r>`
+	as := nodeSetFrom(t, doc, "a")
+	bs := nodeSetFrom(t, doc, "b")
+	cs := nodeSetFrom(t, doc, "c")
+	empty := NodeSet(nil)
+
+	if !Compare(OpEq, as, bs) {
+		t.Error("a = b should hold (both contain 2)")
+	}
+	if !Compare(OpNe, as, bs) {
+		t.Error("a != b should hold (1 vs 2)")
+	}
+	if Compare(OpEq, as, cs) {
+		t.Error("a = c should not hold")
+	}
+	if !Compare(OpLt, as, bs) {
+		t.Error("a < b should hold (1 < 2)")
+	}
+	if Compare(OpGt, as, bs) {
+		t.Error("a > b should not hold (no pair with a_i > b_j)")
+	}
+	if !Compare(OpGe, as, bs) {
+		t.Error("a >= b should hold (2 >= 2)")
+	}
+	if Compare(OpEq, empty, as) || Compare(OpNe, empty, as) {
+		t.Error("comparisons with empty node-set are false")
+	}
+	// node-set vs scalar.
+	if !Compare(OpEq, as, Num(2)) {
+		t.Error("a = 2 should hold")
+	}
+	if !Compare(OpEq, Num(2), as) {
+		t.Error("2 = a should hold (negated op)")
+	}
+	if !Compare(OpLt, Num(1.5), as) {
+		t.Error("1.5 < a should hold (node 2)")
+	}
+	if !Compare(OpEq, as, Str("1")) {
+		t.Error(`a = "1" should hold`)
+	}
+	if Compare(OpEq, cs, Num(2)) {
+		t.Error("c = 2 should not hold (NaN)")
+	}
+	// node-set vs boolean uses boolean(ns).
+	if !Compare(OpEq, as, Bool(true)) || Compare(OpEq, empty, Bool(true)) {
+		t.Error("node-set vs boolean")
+	}
+	if !Compare(OpEq, empty, Bool(false)) {
+		t.Error("empty node-set = false should hold")
+	}
+}
+
+func TestCompareScalars(t *testing.T) {
+	if !Compare(OpEq, Num(1), Str("1")) {
+		t.Error(`1 = "1"`)
+	}
+	if !Compare(OpEq, Bool(true), Str("x")) {
+		t.Error(`true = "x" (string converts to true)`)
+	}
+	if !Compare(OpNe, Bool(true), Str("")) {
+		t.Error(`true != ""`)
+	}
+	if !Compare(OpLt, Str("1"), Str("2")) {
+		t.Error(`"1" < "2" compares numerically`)
+	}
+	if Compare(OpLt, Str("a"), Str("b")) {
+		t.Error(`"a" < "b" is NaN comparison, false`)
+	}
+	if !Compare(OpEq, Str("a"), Str("a")) || Compare(OpEq, Str("a"), Str("b")) {
+		t.Error("string equality")
+	}
+	if Compare(OpEq, Num(math.NaN()), Num(math.NaN())) {
+		t.Error("NaN = NaN is false")
+	}
+}
+
+// Property: Compare(OpLt, a, b) implies !Compare(OpGe, a, b) for numbers.
+func TestCompareNumberComplement(t *testing.T) {
+	f := func(a, b float64) bool {
+		va, vb := Num(a), Num(b)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return !Compare(OpLt, va, vb) && !Compare(OpGe, va, vb)
+		}
+		return Compare(OpLt, va, vb) != Compare(OpGe, va, vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNodeSet: "node-set", KindBoolean: "boolean",
+		KindNumber: "number", KindString: "string",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestConvert(t *testing.T) {
+	v := Str("3.5")
+	if got := v.Convert(KindNumber); got.N != 3.5 {
+		t.Errorf("Convert to number: %v", got.N)
+	}
+	if got := Num(0).Convert(KindBoolean); got.B {
+		t.Error("Convert 0 to boolean should be false")
+	}
+	if got := Num(2).Convert(KindString); got.S != "2" {
+		t.Errorf("Convert to string: %q", got.S)
+	}
+	ns := NodeSet(nil)
+	if got := ns.Convert(KindNodeSet); !got.IsNodeSet() {
+		t.Error("identity conversion")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Convert(string→node-set) should panic")
+		}
+	}()
+	_ = Str("x").Convert(KindNodeSet)
+}
