@@ -1,8 +1,11 @@
 package natix_test
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"testing"
+	"time"
 
 	"natix"
 	"natix/internal/bench"
@@ -184,6 +187,99 @@ func BenchmarkAblationBuffer(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// governorLimits are generous budgets that never trip: the governed runs
+// below pay for the accounting, not for failures.
+var governorLimits = natix.Limits{
+	MaxTuples: 1 << 40,
+	MaxBytes:  1 << 50,
+	MaxSteps:  1 << 40,
+}
+
+// BenchmarkGovernorOverhead compares each Fig. 5 query bare (Run, no
+// limits) against the fully governed path (RunContext with an armed
+// deadline and every budget set). The delta is the price of the
+// cancellation/limit checks; the guard below asserts it stays under 2 %.
+func BenchmarkGovernorOverhead(b *testing.B) {
+	mem := bench.GeneratedDoc(2000)
+	root := natix.RootNode(mem)
+	for _, spec := range bench.Fig5 {
+		bare := natix.MustCompile(spec.XPath)
+		governed, err := natix.CompileWith(spec.XPath, natix.Options{Limits: governorLimits})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(spec.ID+"/bare", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bare.Run(root, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(spec.ID+"/governed", func(b *testing.B) {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+			defer cancel()
+			for i := 0; i < b.N; i++ {
+				if _, err := governed.RunContext(ctx, root, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestGovernorOverheadGuard fails if the governed path is more than 2 %
+// slower than the bare path across the Fig. 5 queries. Timing-sensitive,
+// so it only runs when explicitly requested:
+//
+//	NATIX_PERF_GUARD=1 go test -run TestGovernorOverheadGuard
+func TestGovernorOverheadGuard(t *testing.T) {
+	if os.Getenv("NATIX_PERF_GUARD") == "" {
+		t.Skip("set NATIX_PERF_GUARD=1 to run the governor overhead guard")
+	}
+	mem := bench.GeneratedDoc(2000)
+	root := natix.RootNode(mem)
+
+	// best-of-N per engine, summed over the query set, to damp scheduler
+	// noise; the budget is a ratio on the totals.
+	const rounds = 5
+	var bareTotal, governedTotal float64
+	for _, spec := range bench.Fig5 {
+		bare := natix.MustCompile(spec.XPath)
+		governed, err := natix.CompileWith(spec.XPath, natix.Options{Limits: governorLimits})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+		best := func(run func() error) float64 {
+			min := -1.0
+			for r := 0; r < rounds; r++ {
+				res := testing.Benchmark(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if err := run(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				if ns := float64(res.NsPerOp()); min < 0 || ns < min {
+					min = ns
+				}
+			}
+			return min
+		}
+		bareNs := best(func() error { _, err := bare.Run(root, nil); return err })
+		governedNs := best(func() error { _, err := governed.RunContext(ctx, root, nil); return err })
+		cancel()
+		t.Logf("%s: bare %.0fns governed %.0fns (%+.2f%%)",
+			spec.ID, bareNs, governedNs, 100*(governedNs-bareNs)/bareNs)
+		bareTotal += bareNs
+		governedTotal += governedNs
+	}
+	if governedTotal > bareTotal*1.02 {
+		t.Errorf("governor overhead %.2f%% exceeds 2%% (bare %.0fns, governed %.0fns)",
+			100*(governedTotal-bareTotal)/bareTotal, bareTotal, governedTotal)
 	}
 }
 

@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"natix"
 	"natix/internal/dom"
@@ -41,6 +43,8 @@ func main() {
 	explain := flag.Bool("explain", false, "print the algebra plan before evaluating")
 	stats := flag.Bool("stats", false, "print engine statistics after evaluating")
 	bufPages := flag.Int("buffer", 0, "store buffer capacity in pages (0 = default)")
+	timeout := flag.Duration("timeout", 0, "abort evaluation after this duration (0 = none)")
+	maxMem := flag.Int64("max-mem", 0, "abort when the query materializes more than this many bytes (0 = unlimited)")
 	flag.Var(ns, "ns", "namespace binding prefix=uri (repeatable)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: natix-query [flags] <query> <document>\n")
@@ -51,14 +55,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *mode, *useStore, *explain, *stats, *bufPages, ns); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *mode, *useStore, *explain, *stats, *bufPages, *timeout, *maxMem, ns); err != nil {
 		fmt.Fprintln(os.Stderr, "natix-query:", err)
 		os.Exit(1)
 	}
 }
 
-func run(query, path, mode string, useStore, explain, stats bool, bufPages int, ns map[string]string) error {
-	opt := natix.Options{Namespaces: ns}
+func run(query, path, mode string, useStore, explain, stats bool, bufPages int, timeout time.Duration, maxMem int64, ns map[string]string) error {
+	opt := natix.Options{Namespaces: ns, Limits: natix.Limits{MaxBytes: maxMem}}
 	switch mode {
 	case "improved":
 	case "canonical":
@@ -95,7 +99,13 @@ func run(query, path, mode string, useStore, explain, stats bool, bufPages int, 
 		doc = md
 	}
 
-	res, err := q.Run(natix.RootNode(doc), nil)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, err := q.RunContext(ctx, natix.RootNode(doc), nil)
 	if err != nil {
 		return err
 	}

@@ -15,11 +15,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"natix"
 	"natix/internal/dom"
@@ -29,6 +31,8 @@ import (
 
 func main() {
 	useStore := flag.Bool("store", false, "treat the document as a natix store file")
+	timeout := flag.Duration("timeout", 0, "abort each evaluation after this duration (0 = none)")
+	maxMem := flag.Int64("max-mem", 0, "abort evaluations materializing more than this many bytes (0 = unlimited)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: natix-shell [flags] <document>\n")
 		flag.PrintDefaults()
@@ -47,6 +51,8 @@ func main() {
 		defer closer()
 	}
 	sh := newShell(doc, os.Stdout)
+	sh.timeout = *timeout
+	sh.maxMem = *maxMem
 	fmt.Printf("natix shell — %d nodes loaded; \\help for commands\n", doc.NodeCount())
 	sc := bufio.NewScanner(os.Stdin)
 	for {
@@ -82,13 +88,15 @@ func loadDoc(path string, useStore bool) (dom.Document, func() error, error) {
 
 // shell holds the interactive state.
 type shell struct {
-	doc   dom.Document
-	out   io.Writer
-	ctx   natix.Node
-	mode  natix.TranslationMode
-	vars  map[string]xval.Value
-	stats bool
-	ns    map[string]string
+	doc     dom.Document
+	out     io.Writer
+	ctx     natix.Node
+	mode    natix.TranslationMode
+	vars    map[string]xval.Value
+	stats   bool
+	ns      map[string]string
+	timeout time.Duration
+	maxMem  int64
 }
 
 func newShell(doc dom.Document, out io.Writer) *shell {
@@ -136,7 +144,18 @@ func (s *shell) help() {
 }
 
 func (s *shell) options() natix.Options {
-	return natix.Options{Mode: s.mode, Namespaces: s.ns}
+	return natix.Options{Mode: s.mode, Namespaces: s.ns, Limits: natix.Limits{MaxBytes: s.maxMem}}
+}
+
+// runQuery evaluates under the shell's timeout, if any.
+func (s *shell) runQuery(q *natix.Query) (*natix.Result, error) {
+	ctx := context.Background()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	return q.RunContext(ctx, s.ctx, s.vars)
 }
 
 func (s *shell) command(line string) {
@@ -195,7 +214,7 @@ func (s *shell) command(line string) {
 			fmt.Fprintln(s.out, "error:", err)
 			return
 		}
-		res, err := q.Run(s.ctx, s.vars)
+		res, err := s.runQuery(q)
 		if err != nil {
 			fmt.Fprintln(s.out, "error:", err)
 			return
@@ -224,7 +243,7 @@ func (s *shell) eval(expr string) {
 		fmt.Fprintln(s.out, "error:", err)
 		return
 	}
-	res, err := q.Run(s.ctx, s.vars)
+	res, err := s.runQuery(q)
 	if err != nil {
 		fmt.Fprintln(s.out, "error:", err)
 		return

@@ -6,12 +6,14 @@
 package codegen
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"natix/internal/algebra"
 	"natix/internal/dom"
+	"natix/internal/guard"
 	"natix/internal/nvm"
 	"natix/internal/physical"
 	"natix/internal/translate"
@@ -38,6 +40,11 @@ type Plan struct {
 
 	// DisableSmartAgg turns off aggregate early exit for ablations.
 	DisableSmartAgg bool
+
+	// WrapIter, when set, wraps every iterator instantiated for a run.
+	// It is a test hook (leak detection harnesses); set it before any
+	// Run call — it is not synchronized.
+	WrapIter func(physical.Iter) physical.Iter
 
 	// regs and progs preserve the attribute manager's mapping and the
 	// compiled subscript programs for ExplainPhysical.
@@ -85,18 +92,39 @@ type Result struct {
 	Stats physical.Stats
 }
 
-// Run executes the plan with the given context node and variable bindings.
+// Run executes the plan with the given context node and variable bindings,
+// without a cancellation context or resource limits.
 func (p *Plan) Run(ctx dom.Node, vars map[string]xval.Value) (*Result, error) {
+	return p.RunContext(context.Background(), guard.Limits{}, ctx, vars)
+}
+
+// faulter is implemented by documents whose navigation can hit I/O or
+// corruption errors after open (the paged store). Navigation interfaces
+// return plain values, so faults are recorded sticky on the document and
+// collected here: periodically by the governor, and unconditionally before
+// a result is returned, so a faulted run can never report success.
+type faulter interface{ Err() error }
+
+// RunContext executes the plan under a cancellation context and resource
+// limits. Cancellation and budget errors surface as the context's error or
+// a *guard.LimitError, with every opened iterator closed on the way out.
+func (p *Plan) RunContext(stdctx context.Context, limits guard.Limits, ctx dom.Node, vars map[string]xval.Value) (*Result, error) {
 	if ctx.IsNil() {
 		return nil, fmt.Errorf("codegen: nil context node")
 	}
+	var faultFn func() error
+	if f, ok := ctx.Doc.(faulter); ok {
+		faultFn = f.Err
+	}
+	gov := guard.New(stdctx, limits, faultFn)
 	m := &nvm.Machine{
 		Regs:        make([]nvm.Val, p.numRegs),
 		Vars:        vars,
 		Memos:       make([]map[any]nvm.Val, p.numMemos),
 		NoEarlyExit: p.DisableSmartAgg,
+		Gov:         gov,
 	}
-	ex := &physical.Exec{M: m, IDs: p.ids, Names: p.names, CtxDoc: ctx.Doc}
+	ex := &physical.Exec{M: m, IDs: p.ids, Names: p.names, CtxDoc: ctx.Doc, Gov: gov, WrapIter: p.WrapIter}
 	m.Regs[p.ctxReg] = nvm.NodeVal(ctx)
 	m.Subplans = make([]nvm.Iterator, len(p.subplans))
 	for i, b := range p.subplans {
@@ -106,6 +134,9 @@ func (p *Plan) Run(ctx dom.Node, vars map[string]xval.Value) (*Result, error) {
 	if p.scalarProg != nil {
 		v, err := m.Run(p.scalarProg)
 		if err != nil {
+			return nil, err
+		}
+		if err := gov.Check(); err != nil {
 			return nil, err
 		}
 		return &Result{Value: v.Value(), Stats: ex.Stats}, nil
@@ -125,13 +156,26 @@ func (p *Plan) Run(ctx dom.Node, vars map[string]xval.Value) (*Result, error) {
 		if !ok {
 			break
 		}
+		if err := gov.Grow(resultNodeBytes); err != nil {
+			it.Close()
+			return nil, err
+		}
 		nodes = append(nodes, m.Regs[p.rootAttrReg].Node())
 	}
 	if err := it.Close(); err != nil {
 		return nil, err
 	}
+	// Final governor check: a store fault or cancellation that raced the
+	// last poll window must fail the run rather than return partial data.
+	if err := gov.Check(); err != nil {
+		return nil, err
+	}
 	return &Result{Value: xval.NodeSet(nodes), Stats: ex.Stats}, nil
 }
+
+// resultNodeBytes is the byte-budget charge per node of the materialized
+// result sequence.
+const resultNodeBytes = 24
 
 // Explain renders the logical plan the physical plan was generated from.
 func (p *Plan) Explain() string {
@@ -188,7 +232,25 @@ func (g *generator) producedRegs(op algebra.Op) []int {
 	return out
 }
 
+// compile wraps compileOp so every instantiated iterator passes through the
+// Exec's WrapIter hook (leak-detection harnesses). Subplan roots and
+// intermediate operators alike are wrapped, so a counting hook observes the
+// complete Open/Close traffic of a run.
 func (g *generator) compile(op algebra.Op) (builder, error) {
+	b, err := g.compileOp(op)
+	if err != nil {
+		return nil, err
+	}
+	return func(ex *physical.Exec) physical.Iter {
+		it := b(ex)
+		if ex.WrapIter != nil {
+			it = ex.WrapIter(it)
+		}
+		return it
+	}, nil
+}
+
+func (g *generator) compileOp(op algebra.Op) (builder, error) {
 	switch o := op.(type) {
 	case *algebra.SingletonScan:
 		return func(*physical.Exec) physical.Iter { return &physical.SingletonScan{} }, nil

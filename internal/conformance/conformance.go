@@ -90,7 +90,7 @@ func Doc(t testing.TB, name string) *dom.MemDoc {
 func Render(v xval.Value) string {
 	switch v.Kind {
 	case xval.KindBoolean:
-		return "bool:" + v.Convert(xval.KindString).S
+		return "bool:" + v.String()
 	case xval.KindNumber:
 		return "num:" + xval.FormatNumber(v.N)
 	case xval.KindString:

@@ -1,6 +1,7 @@
 package dom
 
 import (
+	"fmt"
 	"strings"
 	"sync/atomic"
 )
@@ -202,12 +203,15 @@ func (b *Builder) StartElement(prefix, local, uri string) NodeID {
 	return id
 }
 
-// EndElement closes the current element.
-func (b *Builder) EndElement() {
+// EndElement closes the current element. Closing with no element open is
+// reported as an error and otherwise ignored, so a malformed build degrades
+// to a malformed document rather than a crash.
+func (b *Builder) EndElement() error {
 	if len(b.stack) <= 1 {
-		panic("dom: EndElement without matching StartElement")
+		return fmt.Errorf("dom: EndElement without matching StartElement")
 	}
 	b.stack = b.stack[:len(b.stack)-1]
+	return nil
 }
 
 // Attr adds an attribute to the current element.

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"natix/internal/dom"
+	"natix/internal/guard"
 	"natix/internal/sem"
 	"natix/internal/xfn"
 	"natix/internal/xval"
@@ -110,6 +111,10 @@ type Machine struct {
 	// NoEarlyExit disables the premature termination of aggregates
 	// (section 5.2.5), for the smart-aggregation ablation benchmark.
 	NoEarlyExit bool
+	// Gov is the execution governor (nil for unguarded hand-built runs):
+	// each program run charges its instruction count, bounding runaway
+	// subscript work and giving scalar-heavy plans cancellation points.
+	Gov *guard.Governor
 
 	stack []Val
 }
@@ -122,8 +127,10 @@ func (m *Machine) Run(p *Program) (v Val, err error) {
 	base := len(m.stack)
 	defer func() { m.stack = m.stack[:base] }()
 	pc := 0
+	steps := int64(0)
 	for {
 		in := p.Code[pc]
+		steps++
 		switch in.Op {
 		case OpConst:
 			m.stack = append(m.stack, p.Consts[in.A])
@@ -210,6 +217,11 @@ func (m *Machine) Run(p *Program) (v Val, err error) {
 			if len(m.stack) == base {
 				return Val{}, fmt.Errorf("nvm: program left no result")
 			}
+			// Programs contain no backward jumps, so one charge at the
+			// end covers the whole (bounded) run.
+			if err := m.Gov.Steps(steps); err != nil {
+				return Val{}, err
+			}
 			return m.stack[len(m.stack)-1], nil
 		default:
 			return Val{}, fmt.Errorf("nvm: bad opcode %d", in.Op)
@@ -241,6 +253,10 @@ func (m *Machine) memoKey(reg int) any {
 	}
 	return m.Regs[reg].Key()
 }
+
+// nodeBytes is the approximate materialization cost of one collected node
+// handle, for the byte budget.
+const nodeBytes = 24
 
 // aggregate drives a nested iterator, implementing the 𝔄 programs of
 // section 5.2.5 with premature termination where the aggregate allows it.
@@ -290,6 +306,9 @@ func (m *Machine) aggregate(it Iterator, agg AggCode, attrReg int) (Val, error) 
 				first = n
 			}
 		case AggCollect:
+			if err := m.Gov.Grow(nodeBytes); err != nil {
+				return Val{}, err
+			}
 			collected = append(collected, m.Regs[attrReg].Node())
 		}
 	}

@@ -20,13 +20,16 @@ type CrossIter struct {
 	L, R      Iter
 	RSaveRegs []int
 
-	rRows []row
-	rIdx  int
-	lHas  bool
+	rRows   []row
+	rIdx    int
+	lHas    bool
+	charged int64
 }
 
 // Open implements Iter.
 func (c *CrossIter) Open() error {
+	c.Ex.Gov.Release(c.charged)
+	c.charged = 0
 	c.rRows = c.rRows[:0]
 	c.rIdx = 0
 	c.lHas = false
@@ -34,14 +37,21 @@ func (c *CrossIter) Open() error {
 		return err
 	}
 	regs := c.Ex.M.Regs
+	oneRow := rowBytes(len(c.RSaveRegs))
 	for {
 		ok, err := c.R.Next()
 		if err != nil {
+			c.R.Close()
 			return err
 		}
 		if !ok {
 			break
 		}
+		if err := c.Ex.Gov.Grow(oneRow); err != nil {
+			c.R.Close()
+			return err
+		}
+		c.charged += oneRow
 		c.rRows = append(c.rRows, snapshot(regs, c.RSaveRegs, nil))
 	}
 	if err := c.R.Close(); err != nil {
@@ -58,6 +68,9 @@ func (c *CrossIter) Next() (bool, error) {
 	regs := c.Ex.M.Regs
 	for {
 		if c.lHas && c.rIdx < len(c.rRows) {
+			if err := c.Ex.Gov.Event(); err != nil {
+				return false, err
+			}
 			restore(regs, c.RSaveRegs, c.rRows[c.rIdx])
 			c.rIdx++
 			return true, nil
@@ -135,7 +148,8 @@ type GroupIter struct {
 	Theta      xval.CompareOp
 	Agg        nvm.AggCode
 
-	pairs []groupPair
+	pairs   []groupPair
+	charged int64
 }
 
 type groupPair struct {
@@ -145,19 +159,28 @@ type groupPair struct {
 
 // Open implements Iter.
 func (g *GroupIter) Open() error {
+	g.Ex.Gov.Release(g.charged)
+	g.charged = 0
 	g.pairs = g.pairs[:0]
 	if err := g.R.Open(); err != nil {
 		return err
 	}
 	regs := g.Ex.M.Regs
+	onePair := rowBytes(2)
 	for {
 		ok, err := g.R.Next()
 		if err != nil {
+			g.R.Close()
 			return err
 		}
 		if !ok {
 			break
 		}
+		if err := g.Ex.Gov.Grow(onePair); err != nil {
+			g.R.Close()
+			return err
+		}
+		g.charged += onePair
 		g.pairs = append(g.pairs, groupPair{join: regs[g.RReg], agg: regs[g.AggReg]})
 	}
 	if err := g.R.Close(); err != nil {

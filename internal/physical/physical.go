@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"natix/internal/dom"
+	"natix/internal/guard"
 	"natix/internal/nvm"
 	"natix/internal/xfn"
 )
@@ -46,7 +47,26 @@ type Exec struct {
 	// scans resolve against it.
 	CtxDoc dom.Document
 	Stats  Stats
+	// Gov is the execution governor: cancellation, budgets, and store
+	// faults. Nil (hand-built plans) means unguarded.
+	Gov *guard.Governor
+	// WrapIter, when set, wraps every iterator the generated plan
+	// instantiates. It exists for leak-detection harnesses that count
+	// Open/Close balance; production runs leave it nil.
+	WrapIter func(Iter) Iter
 }
+
+// Materialization cost estimates for the byte budget: a register snapshot
+// costs a slice header plus valBytes per saved register. The estimates are
+// deliberately coarse (string payloads are charged where cheap to observe);
+// the budget bounds runaway buffering, not exact accounting.
+const (
+	valBytes  = 96
+	sliceOver = 24
+)
+
+// rowBytes estimates the materialization cost of one n-register snapshot.
+func rowBytes(n int) int64 { return sliceOver + int64(n)*valBytes }
 
 // errIter reports a construction-time problem at Open.
 type errIter struct{ err error }
@@ -105,6 +125,9 @@ func (s *VarScan) Open() error {
 func (s *VarScan) Next() (bool, error) {
 	if s.idx >= len(s.nodes) {
 		return false, nil
+	}
+	if err := s.Ex.Gov.Event(); err != nil {
+		return false, err
 	}
 	s.Ex.M.Regs[s.OutReg] = nvm.NodeVal(s.nodes[s.idx])
 	s.idx++
@@ -170,6 +193,14 @@ func (u *UnnestMap) Next() (bool, error) {
 				break
 			}
 			u.Ex.Stats.AxisSteps++
+			// The cancellation point of the axis loop: this is the one
+			// unbounded traversal of the engine (a non-matching node test
+			// over a huge document produces no tuples downstream would
+			// see), so the governor is consulted here even when nothing
+			// is emitted. Event is a counter and a mask test.
+			if err := u.Ex.Gov.Event(); err != nil {
+				return false, err
+			}
 			n := regs[u.InReg].Node()
 			if u.Test.Matches(n.Doc, id, u.principal) {
 				regs[u.OutReg] = nvm.NodeVal(dom.Node{Doc: n.Doc, ID: id})
@@ -180,6 +211,9 @@ func (u *UnnestMap) Next() (bool, error) {
 					regs[u.EpochReg] = nvm.NumVal(float64(u.epoch))
 				}
 				u.Ex.Stats.Tuples++
+				if err := u.Ex.Gov.Tuples(u.Ex.Stats.Tuples); err != nil {
+					return false, err
+				}
 				return true, nil
 			}
 		}
@@ -216,6 +250,9 @@ func (s *IndexScan) Next() (bool, error) {
 	s.Ex.M.Regs[s.OutReg] = nvm.NodeVal(dom.Node{Doc: s.Ex.CtxDoc, ID: s.ids[s.idx]})
 	s.idx++
 	s.Ex.Stats.Tuples++
+	if err := s.Ex.Gov.Tuples(s.Ex.Stats.Tuples); err != nil {
+		return false, err
+	}
 	return true, nil
 }
 
@@ -359,29 +396,53 @@ type TmpCS struct {
 	pendRow   row
 	inOpen    bool
 	exhausted bool
+	posIdx    int
+	epochIdx  int
+	charged   int64
 }
 
 // Open implements Iter.
 func (t *TmpCS) Open() error {
+	t.Ex.Gov.Release(t.charged)
+	t.charged = 0
 	t.buf = t.buf[:0]
 	t.idx = 0
 	t.pending = false
 	t.exhausted = false
+	var err error
+	if t.posIdx, err = slotOf(t.SaveRegs, t.PosReg); err != nil {
+		return err
+	}
+	if t.EpochReg >= 0 {
+		if t.epochIdx, err = slotOf(t.SaveRegs, t.EpochReg); err != nil {
+			return err
+		}
+	}
+	if err := t.In.Open(); err != nil {
+		return err
+	}
 	t.inOpen = true
-	return t.In.Open()
+	return nil
 }
 
 // Next implements Iter.
 func (t *TmpCS) Next() (bool, error) {
 	regs := t.Ex.M.Regs
+	oneRow := rowBytes(len(t.SaveRegs))
 	for {
 		if t.idx < len(t.buf) {
+			if err := t.Ex.Gov.Event(); err != nil {
+				return false, err
+			}
 			restore(regs, t.SaveRegs, t.buf[t.idx])
 			regs[t.OutReg] = nvm.NumVal(t.cs)
 			t.idx++
 			return true, nil
 		}
-		// Current context fully replayed; gather the next one.
+		// Current context fully replayed; gather the next one. The buffer
+		// memory is reused, so its budget charge is returned first.
+		t.Ex.Gov.Release(t.charged)
+		t.charged = 0
 		t.buf = t.buf[:0]
 		t.idx = 0
 		if t.exhausted && !t.pending {
@@ -389,11 +450,15 @@ func (t *TmpCS) Next() (bool, error) {
 		}
 		var epoch float64
 		if t.pending {
+			if err := t.Ex.Gov.Grow(oneRow); err != nil {
+				return false, err
+			}
+			t.charged += oneRow
 			t.buf = append(t.buf, t.pendRow)
 			t.pendRow = nil
 			t.pending = false
 			if t.EpochReg >= 0 {
-				epoch = t.buf[0][t.epochSlot()].Num()
+				epoch = t.buf[0][t.epochIdx].Num()
 			}
 		}
 		for !t.exhausted {
@@ -405,6 +470,10 @@ func (t *TmpCS) Next() (bool, error) {
 				t.exhausted = true
 				break
 			}
+			if err := t.Ex.Gov.Grow(oneRow); err != nil {
+				return false, err
+			}
+			t.charged += oneRow
 			r := snapshot(regs, t.SaveRegs, nil)
 			if t.EpochReg >= 0 {
 				e := regs[t.EpochReg].Num()
@@ -426,21 +495,20 @@ func (t *TmpCS) Next() (bool, error) {
 			continue
 		}
 		// The position attribute of the final tuple is the context size.
-		t.cs = t.buf[len(t.buf)-1][t.posSlot()].Num()
+		t.cs = t.buf[len(t.buf)-1][t.posIdx].Num()
 	}
 }
 
-func (t *TmpCS) posSlot() int { return slotOf(t.SaveRegs, t.PosReg) }
-
-func (t *TmpCS) epochSlot() int { return slotOf(t.SaveRegs, t.EpochReg) }
-
-func slotOf(regs []int, reg int) int {
+// slotOf resolves a register to its index in the snapshot set. A miss is a
+// code-generation invariant violation; it surfaces as an error rather than
+// a panic so a compiler bug degrades to a failed query, not a dead process.
+func slotOf(regs []int, reg int) (int, error) {
 	for i, r := range regs {
 		if r == reg {
-			return i
+			return i, nil
 		}
 	}
-	panic("physical: register not in snapshot set")
+	return 0, fmt.Errorf("physical: register r%d not in snapshot set %v", reg, regs)
 }
 
 // Close implements Iter.
@@ -521,6 +589,9 @@ type MemoX struct {
 	recorded  []row
 	key       any
 	inOpen    bool
+	// recCharged is the byte-budget charge of the current (uncommitted)
+	// recording; committed cache entries stay charged for the execution.
+	recCharged int64
 }
 
 // Open implements Iter.
@@ -529,8 +600,11 @@ func (m *MemoX) Open() error {
 		m.cache = make(map[any][]row)
 	}
 	if m.inOpen {
-		// Re-opened before exhaustion: drop the partial recording.
+		// Re-opened before exhaustion: drop the partial recording (and
+		// return its budget charge).
 		m.recording = false
+		m.Ex.Gov.Release(m.recCharged)
+		m.recCharged = 0
 		if err := m.In.Close(); err != nil {
 			return err
 		}
@@ -545,9 +619,14 @@ func (m *MemoX) Open() error {
 	m.Ex.Stats.MemoMisses++
 	m.replay = nil
 	m.recorded = m.recorded[:0]
+	m.recCharged = 0
 	m.recording = true
+	if err := m.In.Open(); err != nil {
+		m.recording = false
+		return err
+	}
 	m.inOpen = true
-	return m.In.Open()
+	return nil
 }
 
 // Next implements Iter.
@@ -556,6 +635,9 @@ func (m *MemoX) Next() (bool, error) {
 	if m.replay != nil {
 		if m.replayIdx >= len(m.replay) {
 			return false, nil
+		}
+		if err := m.Ex.Gov.Event(); err != nil {
+			return false, err
 		}
 		restore(regs, m.SaveRegs, m.replay[m.replayIdx])
 		m.replayIdx++
@@ -571,10 +653,16 @@ func (m *MemoX) Next() (bool, error) {
 			copy(rows, m.recorded)
 			m.cache[m.key] = rows
 			m.recording = false
+			m.recCharged = 0 // committed: the cache owns the charge now
 		}
 		return false, nil
 	}
 	if m.recording {
+		n := rowBytes(len(m.SaveRegs))
+		if err := m.Ex.Gov.Grow(n); err != nil {
+			return false, err
+		}
+		m.recCharged += n
 		m.recorded = append(m.recorded, snapshot(regs, m.SaveRegs, nil))
 	}
 	return true, nil
@@ -582,7 +670,11 @@ func (m *MemoX) Next() (bool, error) {
 
 // Close implements Iter.
 func (m *MemoX) Close() error {
-	m.recording = false
+	if m.recording {
+		m.recording = false
+		m.Ex.Gov.Release(m.recCharged)
+		m.recCharged = 0
+	}
 	m.replay = nil
 	if m.inOpen {
 		m.inOpen = false
@@ -598,8 +690,12 @@ type DupElim struct {
 	In      Iter
 	AttrReg int
 
-	seen map[any]struct{}
+	seen    map[any]struct{}
+	charged int64
 }
+
+// keyBytes is the approximate cost of one dedup/hash-table key.
+const keyBytes = 48
 
 // Open implements Iter.
 func (d *DupElim) Open() error {
@@ -608,6 +704,8 @@ func (d *DupElim) Open() error {
 	} else {
 		clear(d.seen)
 	}
+	d.Ex.Gov.Release(d.charged)
+	d.charged = 0
 	return d.In.Open()
 }
 
@@ -623,6 +721,10 @@ func (d *DupElim) Next() (bool, error) {
 			d.Ex.Stats.DupDropped++
 			continue
 		}
+		if err := d.Ex.Gov.Grow(keyBytes); err != nil {
+			return false, err
+		}
+		d.charged += keyBytes
 		d.seen[k] = struct{}{}
 		return true, nil
 	}
@@ -689,32 +791,47 @@ type SortIter struct {
 	AttrReg  int
 	SaveRegs []int
 
-	rows []row
-	idx  int
+	rows    []row
+	idx     int
+	charged int64
 }
 
-// Open implements Iter.
+// Open implements Iter. The input is fully materialized here; on any error
+// the input is closed before returning, so a failed Open leaves nothing
+// open underneath (the self-cleaning Open contract).
 func (s *SortIter) Open() error {
+	s.Ex.Gov.Release(s.charged)
+	s.charged = 0
 	s.rows = s.rows[:0]
 	s.idx = 0
 	if err := s.In.Open(); err != nil {
 		return err
 	}
 	regs := s.Ex.M.Regs
+	oneRow := rowBytes(len(s.SaveRegs))
 	for {
 		ok, err := s.In.Next()
 		if err != nil {
+			s.In.Close()
 			return err
 		}
 		if !ok {
 			break
 		}
+		if err := s.Ex.Gov.Grow(oneRow); err != nil {
+			s.In.Close()
+			return err
+		}
+		s.charged += oneRow
 		s.rows = append(s.rows, snapshot(regs, s.SaveRegs, nil))
 	}
 	if err := s.In.Close(); err != nil {
 		return err
 	}
-	slot := slotOf(s.SaveRegs, s.AttrReg)
+	slot, err := slotOf(s.SaveRegs, s.AttrReg)
+	if err != nil {
+		return err
+	}
 	sort.SliceStable(s.rows, func(i, j int) bool {
 		return dom.CompareOrder(s.rows[i][slot].Node(), s.rows[j][slot].Node()) < 0
 	})
@@ -726,6 +843,9 @@ func (s *SortIter) Open() error {
 func (s *SortIter) Next() (bool, error) {
 	if s.idx >= len(s.rows) {
 		return false, nil
+	}
+	if err := s.Ex.Gov.Event(); err != nil {
+		return false, err
 	}
 	restore(s.Ex.M.Regs, s.SaveRegs, s.rows[s.idx])
 	s.idx++
@@ -827,6 +947,7 @@ type ExistsJoin struct {
 	rVals    map[string]struct{}
 	anyTwo   bool // inequality: at least two distinct right values
 	singular string
+	charged  int64
 }
 
 // Open implements Iter.
@@ -836,6 +957,8 @@ func (j *ExistsJoin) Open() error {
 	} else {
 		clear(j.rVals)
 	}
+	j.Ex.Gov.Release(j.charged)
+	j.charged = 0
 	j.anyTwo = false
 	if err := j.R.Open(); err != nil {
 		return err
@@ -844,12 +967,21 @@ func (j *ExistsJoin) Open() error {
 	for {
 		ok, err := j.R.Next()
 		if err != nil {
+			j.R.Close()
 			return err
 		}
 		if !ok {
 			break
 		}
 		sv := regs[j.RReg].Str()
+		if _, have := j.rVals[sv]; !have {
+			n := keyBytes + int64(len(sv))
+			if err := j.Ex.Gov.Grow(n); err != nil {
+				j.R.Close()
+				return err
+			}
+			j.charged += n
+		}
 		j.rVals[sv] = struct{}{}
 		if len(j.rVals) >= 2 {
 			j.anyTwo = true

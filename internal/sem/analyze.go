@@ -144,7 +144,11 @@ func (a *analyzer) binary(n *xpath.Binary) (Expr, error) {
 	default:
 		// Comparisons keep their operand types: node-set comparisons
 		// translate into semi-join/anti-join plans (paper section 3.6.2).
-		return &Compare{Op: n.Op.CompareOp(), Left: l, Right: r}, nil
+		cmp, err := n.Op.CompareOp()
+		if err != nil {
+			return nil, err
+		}
+		return &Compare{Op: cmp, Left: l, Right: r}, nil
 	}
 }
 

@@ -270,7 +270,10 @@ func TestAnalyzeErrors(t *testing.T) {
 		analyzeErr(t, expr)
 	}
 	// Declared variables restrict references.
-	ast := xpath.MustParse("$undeclared")
+	ast, err := xpath.Parse("$undeclared")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := Analyze(ast, &Env{Vars: map[string]struct{}{"x": {}}}); err == nil {
 		t.Error("undeclared variable accepted")
 	}

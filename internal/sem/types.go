@@ -37,12 +37,12 @@ func (t Type) String() string {
 }
 
 // Kind converts a concrete static type to the corresponding value kind.
-// It panics on TObject.
-func (t Type) Kind() xval.Kind {
+// TObject, the top of the type lattice, has none.
+func (t Type) Kind() (xval.Kind, error) {
 	if t == TObject {
-		panic("sem: TObject has no value kind")
+		return 0, fmt.Errorf("sem: TObject has no value kind")
 	}
-	return xval.Kind(t)
+	return xval.Kind(t), nil
 }
 
 // Expr is a typed, normalized expression.

@@ -30,7 +30,13 @@ type frame struct {
 type buffer struct {
 	file     io.ReaderAt
 	pageSize int
+	// usable is the data bytes per page (pageSize minus the checksum
+	// trailer under format version 2); stream offsets address the
+	// concatenation of usable prefixes.
+	usable   int
 	capacity int
+	// verify enables per-page checksum verification on every fault-in.
+	verify bool
 
 	frames map[uint32]*frame
 	// lruHead/lruTail delimit the unpinned LRU list; head is most recent.
@@ -39,7 +45,7 @@ type buffer struct {
 	stats            BufferStats
 }
 
-func newBuffer(file io.ReaderAt, pageSize, capacity int) *buffer {
+func newBuffer(file io.ReaderAt, pageSize, usable, capacity int, verify bool) *buffer {
 	// At least two frames: the document keeps one record page pinned, and
 	// text reads need a second frame.
 	if capacity < 2 {
@@ -48,7 +54,9 @@ func newBuffer(file io.ReaderAt, pageSize, capacity int) *buffer {
 	b := &buffer{
 		file:     file,
 		pageSize: pageSize,
+		usable:   usable,
 		capacity: capacity,
+		verify:   verify,
 		frames:   make(map[uint32]*frame, capacity),
 	}
 	return b
@@ -77,6 +85,10 @@ func (b *buffer) fix(page uint32) (*frame, error) {
 	}
 	for i := n; i < len(f.data); i++ {
 		f.data[i] = 0 // final partial page
+	}
+	if b.verify && !verifyPage(f.data) {
+		b.free = append(b.free, f)
+		return nil, fmt.Errorf("store: checksum mismatch on page %d", page)
 	}
 	f.page = page
 	f.pins = 1
@@ -140,17 +152,18 @@ func (b *buffer) lruRemove(f *frame) {
 }
 
 // readStream copies length bytes starting at byte offset off of the stream
-// beginning at startPage, crossing page boundaries through the buffer.
+// beginning at startPage, crossing page boundaries through the buffer. The
+// stream is the concatenation of the pages' usable prefixes.
 func (b *buffer) readStream(startPage uint32, off uint64, length int) ([]byte, error) {
 	out := make([]byte, 0, length)
 	for length > 0 {
-		page := startPage + uint32(off/uint64(b.pageSize))
-		inPage := int(off % uint64(b.pageSize))
+		page := startPage + uint32(off/uint64(b.usable))
+		inPage := int(off % uint64(b.usable))
 		f, err := b.fix(page)
 		if err != nil {
 			return nil, err
 		}
-		n := b.pageSize - inPage
+		n := b.usable - inPage
 		if n > length {
 			n = length
 		}
@@ -160,4 +173,15 @@ func (b *buffer) readStream(startPage uint32, off uint64, length int) ([]byte, e
 		length -= n
 	}
 	return out, nil
+}
+
+// pinned counts frames with at least one pin (leak accounting).
+func (b *buffer) pinned() int {
+	n := 0
+	for _, f := range b.frames {
+		if f.pins > 0 {
+			n++
+		}
+	}
+	return n
 }

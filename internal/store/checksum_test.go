@@ -1,0 +1,254 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"natix/internal/dom"
+)
+
+// storeImage writes the sample document and returns its bytes.
+func storeImage(t *testing.T, xml string) []byte {
+	t.Helper()
+	mem, err := dom.ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTo(&buf, mem); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestEveryPageSealed(t *testing.T) {
+	img := storeImage(t, storeSample)
+	ps := DefaultPageSize
+	if len(img)%ps != 0 {
+		t.Fatalf("image not page aligned: %d bytes", len(img))
+	}
+	for p := 0; p < len(img)/ps; p++ {
+		if !verifyPage(img[p*ps : (p+1)*ps]) {
+			t.Errorf("page %d fails verification", p)
+		}
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	img := storeImage(t, storeSample)
+	// Flip one bit in every page in turn; opening or scanning must fail,
+	// never return silently wrong data.
+	ps := DefaultPageSize
+	for p := 0; p < len(img)/ps; p++ {
+		bad := append([]byte(nil), img...)
+		bad[p*ps+137] ^= 0x40
+		d, err := OpenReaderAt(bytes.NewReader(bad), Options{BufferPages: 2})
+		if err != nil {
+			continue // corruption in header or name pages: caught at open
+		}
+		for id := dom.NodeID(1); int(id) <= d.NodeCount(); id++ {
+			d.Kind(id)
+			d.Value(id)
+		}
+		if d.Err() == nil {
+			t.Errorf("corruption in page %d went undetected", p)
+		}
+	}
+}
+
+func TestSkipVerifyOpensCorrupt(t *testing.T) {
+	img := storeImage(t, storeSample)
+	img[len(img)-DefaultPageSize+10] ^= 0xff // text page corruption
+	d, err := OpenReaderAt(bytes.NewReader(img), Options{SkipVerify: true})
+	if err != nil {
+		t.Fatalf("SkipVerify open: %v", err)
+	}
+	for id := dom.NodeID(1); int(id) <= d.NodeCount(); id++ {
+		d.Value(id)
+	}
+	if d.Err() != nil {
+		t.Errorf("SkipVerify still verifies: %v", d.Err())
+	}
+}
+
+// TestVersion1StillLoads writes the pre-checksum format and opens it.
+func TestVersion1StillLoads(t *testing.T) {
+	mem, err := dom.ParseString(storeSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeDoc(&buf, mem, DefaultPageSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenReaderAt(bytes.NewReader(buf.Bytes()), Options{BufferPages: 4})
+	if err != nil {
+		t.Fatalf("open v1: %v", err)
+	}
+	if d.h.version != 1 {
+		t.Fatalf("version = %d", d.h.version)
+	}
+	assertEqualDocs(t, mem, d)
+	if d.Err() != nil {
+		t.Errorf("v1 scan faulted: %v", d.Err())
+	}
+}
+
+func TestUpdatePreservesChecksums(t *testing.T) {
+	mem, err := dom.ParseString(storeSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "doc.natix")
+	if err := Write(path, mem); err != nil {
+		t.Fatal(err)
+	}
+	u, err := OpenUpdatable(path, Options{BufferPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a text node and give it a long replacement spanning pages.
+	var textID dom.NodeID
+	for id := dom.NodeID(1); int(id) <= u.Doc().NodeCount(); id++ {
+		if u.Doc().Kind(id) == dom.KindText {
+			textID = id
+			break
+		}
+	}
+	long := strings.Repeat("0123456789", 2500) // 25 KB, crosses pages
+	tx := u.Begin()
+	if err := tx.SetValue(textID, long); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Doc().Value(textID); got != long {
+		t.Fatalf("updated value lost: %d bytes", len(got))
+	}
+	u.Close()
+
+	// A fresh verifying open must accept every touched page.
+	d, err := Open(path, Options{BufferPages: 2})
+	if err != nil {
+		t.Fatalf("reopen after update: %v", err)
+	}
+	defer d.Close()
+	for id := dom.NodeID(1); int(id) <= d.NodeCount(); id++ {
+		d.Kind(id)
+		d.Value(id)
+	}
+	if d.Err() != nil {
+		t.Errorf("post-update scan faulted: %v", d.Err())
+	}
+	if got := d.Value(textID); got != long {
+		t.Errorf("value after reopen: %d bytes, want %d", len(got), len(long))
+	}
+}
+
+func TestRecoverReseals(t *testing.T) {
+	mem, err := dom.ParseString(storeSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "doc.natix")
+	if err := Write(path, mem); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var textID dom.NodeID
+	for id := dom.NodeID(1); int(id) <= d.NodeCount(); id++ {
+		if d.Kind(id) == dom.KindText {
+			textID = id
+			break
+		}
+	}
+	// Simulate a crash between commit and checkpoint: the WAL holds a
+	// committed update the store file never saw.
+	wal := EncodeCommittedUpdate(d, textID, "recovered value")
+	d.Close()
+	if err := writeFile(path+walSuffix, wal); err != nil {
+		t.Fatal(err)
+	}
+	u, err := OpenUpdatable(path, Options{})
+	if err != nil {
+		t.Fatalf("open with pending wal: %v", err)
+	}
+	if got := u.Doc().Value(textID); got != "recovered value" {
+		t.Errorf("recovered value = %q", got)
+	}
+	u.Close()
+	// The recovered file must verify cleanly.
+	d2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	for id := dom.NodeID(1); int(id) <= d2.NodeCount(); id++ {
+		d2.Kind(id)
+		d2.Value(id)
+	}
+	if d2.Err() != nil {
+		t.Errorf("post-recovery scan faulted: %v", d2.Err())
+	}
+}
+
+func TestFaultReader(t *testing.T) {
+	img := storeImage(t, storeSample)
+	fr := &FaultReader{R: bytes.NewReader(img)}
+	d, err := OpenReaderAt(fr, Options{BufferPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Armed = true
+	// Force an uncached page read: tiny buffer, full scan.
+	for id := dom.NodeID(1); int(id) <= d.NodeCount(); id++ {
+		d.Kind(id)
+		d.Value(id)
+	}
+	if !errors.Is(d.Err(), ErrInjectedFault) {
+		t.Errorf("fault not surfaced: %v", d.Err())
+	}
+	d.ClearFault()
+	if d.Err() != nil {
+		t.Error("ClearFault did not clear")
+	}
+}
+
+func TestMutatedImagesNeverPanic(t *testing.T) {
+	img := storeImage(t, storeSample)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		bad := append([]byte(nil), img...)
+		for m := 0; m < 1+rng.Intn(8); m++ {
+			bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: store panicked: %v", trial, r)
+				}
+			}()
+			d, err := OpenReaderAt(bytes.NewReader(bad), Options{BufferPages: 2})
+			if err != nil {
+				return // rejected at open: fine
+			}
+			for id := dom.NodeID(1); int(id) <= d.NodeCount() && id < 10_000; id++ {
+				d.Kind(id)
+				d.StringValue(id)
+			}
+		}()
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

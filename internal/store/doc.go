@@ -13,6 +13,10 @@ import (
 type Options struct {
 	// BufferPages is the page buffer capacity (default 256 pages).
 	BufferPages int
+	// SkipVerify disables per-page checksum verification on format
+	// version 2 files. Recovery uses it: redo may read pages torn by the
+	// crash it is repairing, and rewrites them checksummed.
+	SkipVerify bool
 }
 
 // DefaultBufferPages is used when Options leave BufferPages zero.
@@ -40,6 +44,13 @@ type Doc struct {
 	// until a different page is needed (pinned frames are never evicted).
 	curPage  uint32
 	curFrame *frame
+
+	// err is the sticky fault: the first I/O or checksum error hit after
+	// open. The navigation interface returns plain values, so faults are
+	// recorded here and collected by the engine's governor (and by a final
+	// check before any run reports success) — a faulted read yields nil
+	// links, never a wrong answer presented as a correct one.
+	err error
 }
 
 var _ dom.Document = (*Doc)(nil)
@@ -73,17 +84,53 @@ func OpenReaderAt(r io.ReaderAt, opt Options) (*Doc, error) {
 	if cap == 0 {
 		cap = DefaultBufferPages
 	}
+	verify := h.version >= 2 && !opt.SkipVerify
 	d := &Doc{
 		docID:        dom.NextDocID(),
 		h:            h,
-		buf:          newBuffer(r, int(h.pageSize), cap),
-		nodesPerPage: h.pageSize / recordSize,
+		buf:          newBuffer(r, int(h.pageSize), h.usable(), cap, verify),
+		nodesPerPage: uint32(h.usable() / recordSize),
+	}
+	if verify {
+		// The header was read raw above; verify its page now that the
+		// page size is known.
+		f, err := d.buf.fix(0)
+		if err != nil {
+			return nil, err
+		}
+		d.buf.unfix(f)
 	}
 	if err := d.loadNames(); err != nil {
 		return nil, err
 	}
 	return d, nil
 }
+
+// Err returns the sticky fault: the first I/O or corruption error any
+// navigation hit since open, nil if none. Callers that consumed navigation
+// results must check it before trusting them.
+func (d *Doc) Err() error { return d.err }
+
+// setFault records the first navigation fault.
+func (d *Doc) setFault(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// ClearFault resets the sticky fault (tests recovering from injected
+// faults).
+func (d *Doc) ClearFault() { d.err = nil }
+
+// PinnedPages returns the number of currently pinned buffer frames. The
+// record cache legitimately keeps one page pinned between accessor calls;
+// ReleaseRecordCache drops it, after which an idle document must report
+// zero.
+func (d *Doc) PinnedPages() int { return d.buf.pinned() }
+
+// ReleaseRecordCache unpins the record cache's page (leak accounting in
+// tests; the cache re-pins on the next record access).
+func (d *Doc) ReleaseRecordCache() { d.dropRecordCache() }
 
 // Close releases the underlying file.
 func (d *Doc) Close() error {
@@ -145,9 +192,12 @@ func (d *Doc) withRecord(id dom.NodeID, fn func(record)) {
 		}
 		f, err := d.buf.fix(page)
 		if err != nil {
-			// The file shrank or is corrupt; surface as an empty record.
-			// The writer/opener validated the layout, so this is
-			// unreachable in practice.
+			// The file shrank, a page is corrupt, or the medium failed.
+			// Record the fault sticky and yield the zero record: the
+			// current navigation degrades to nil links (never a wrong
+			// answer dressed as a right one), and the engine fails the
+			// run when it collects Err.
+			d.setFault(err)
 			fn(record(zeroRecord))
 			return
 		}
@@ -209,6 +259,7 @@ func (d *Doc) Value(id dom.NodeID) string {
 	}
 	data, err := d.buf.readStream(d.h.textStart, off, int(n))
 	if err != nil {
+		d.setFault(err)
 		return ""
 	}
 	return string(data)

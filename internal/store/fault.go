@@ -1,0 +1,57 @@
+package store
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjectedFault is the default error a FaultReader injects.
+var ErrInjectedFault = errors.New("store: injected read fault")
+
+// FaultReader wraps an io.ReaderAt and injects read failures on a schedule,
+// for testing the engine's fault paths: open a Doc over one with
+// OpenReaderAt and flip Armed (or set FailAfter) mid-query to simulate a
+// medium that dies under load.
+type FaultReader struct {
+	// R is the wrapped reader.
+	R io.ReaderAt
+	// Err is the injected error; nil selects ErrInjectedFault.
+	Err error
+	// Armed fails every read while true.
+	Armed bool
+	// FailAfter, when positive, arms the reader after that many further
+	// successful reads.
+	FailAfter int64
+	// Fail, when non-nil, is consulted per read; a non-nil return is
+	// injected as the read error.
+	Fail func(off int64, length int) error
+
+	// Reads counts ReadAt calls, including failed ones.
+	Reads int64
+}
+
+// ReadAt implements io.ReaderAt.
+func (f *FaultReader) ReadAt(p []byte, off int64) (int, error) {
+	f.Reads++
+	if f.Fail != nil {
+		if err := f.Fail(off, len(p)); err != nil {
+			return 0, err
+		}
+	}
+	if f.FailAfter > 0 {
+		f.FailAfter--
+		if f.FailAfter == 0 {
+			f.Armed = true
+		}
+	} else if f.Armed {
+		return 0, f.err()
+	}
+	return f.R.ReadAt(p, off)
+}
+
+func (f *FaultReader) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjectedFault
+}

@@ -19,6 +19,7 @@ package store
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 
 	"natix/internal/dom"
 )
@@ -26,8 +27,13 @@ import (
 // Magic identifies a store file.
 const Magic = "NATX"
 
-// FormatVersion is bumped on incompatible layout changes.
-const FormatVersion = 1
+// FormatVersion is bumped on incompatible layout changes. Version 2 carries
+// a CRC32 checksum in the last checksumSize bytes of every page, computed
+// over the page's usable prefix; version 1 files (no checksums) still load.
+const FormatVersion = 2
+
+// checksumSize is the per-page checksum trailer of format version 2.
+const checksumSize = 4
 
 // DefaultPageSize is the page size used when Options leave it zero.
 const DefaultPageSize = 8192
@@ -60,6 +66,7 @@ const (
 
 // header is the decoded page-0 content.
 type header struct {
+	version   uint32
 	pageSize  uint32
 	nodeCount uint32
 	nameStart uint32 // first name-table page
@@ -71,10 +78,37 @@ type header struct {
 
 const headerSize = 4 + 4 + 4*5 + 8*2
 
+// usable returns the data bytes per page: everything before the checksum
+// trailer under version 2, the whole page under version 1. All stream and
+// record offsets address the concatenation of the pages' usable prefixes.
+func (h *header) usable() int {
+	if h.version >= 2 {
+		return int(h.pageSize) - checksumSize
+	}
+	return int(h.pageSize)
+}
+
+// pageChecksum computes the checksum of a version-2 page image over its
+// usable prefix.
+func pageChecksum(page []byte) uint32 {
+	return crc32.ChecksumIEEE(page[:len(page)-checksumSize])
+}
+
+// verifyPage checks a version-2 page image against its stored checksum.
+func verifyPage(page []byte) bool {
+	stored := binary.LittleEndian.Uint32(page[len(page)-checksumSize:])
+	return stored == pageChecksum(page)
+}
+
+// sealPage stores the checksum of a version-2 page image into its trailer.
+func sealPage(page []byte) {
+	binary.LittleEndian.PutUint32(page[len(page)-checksumSize:], pageChecksum(page))
+}
+
 func (h *header) encode(buf []byte) {
 	copy(buf[0:4], Magic)
 	le := binary.LittleEndian
-	le.PutUint32(buf[4:], FormatVersion)
+	le.PutUint32(buf[4:], h.version)
 	le.PutUint32(buf[8:], h.pageSize)
 	le.PutUint32(buf[12:], h.nodeCount)
 	le.PutUint32(buf[16:], h.nameStart)
@@ -92,8 +126,9 @@ func (h *header) decode(buf []byte) error {
 		return fmt.Errorf("store: bad magic %q", buf[0:4])
 	}
 	le := binary.LittleEndian
-	if v := le.Uint32(buf[4:]); v != FormatVersion {
-		return fmt.Errorf("store: unsupported format version %d", v)
+	h.version = le.Uint32(buf[4:])
+	if h.version < 1 || h.version > FormatVersion {
+		return fmt.Errorf("store: unsupported format version %d", h.version)
 	}
 	h.pageSize = le.Uint32(buf[8:])
 	h.nodeCount = le.Uint32(buf[12:])

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 
 	"natix/internal/dom"
@@ -178,58 +179,95 @@ func encodeTx(updates []valueUpdate) []byte {
 
 // apply performs (or redoes) the updates against the store file and the
 // in-memory page buffer. It is idempotent: every write targets an absolute
-// position derived from the logged offsets.
+// position derived from the logged offsets. Writes go through a read-
+// modify-write of the whole page so the version-2 checksum trailer of
+// every touched page is recomputed.
 func (u *Updater) apply(updates []valueUpdate) error {
 	d := u.doc
-	ps := int64(d.h.pageSize)
 	for _, up := range updates {
 		// Value bytes into the text segment (possibly across pages).
-		base := int64(d.h.textStart)*ps + int64(up.off)
-		if _, err := u.file.WriteAt(up.value, base); err != nil {
+		if err := u.writeStream(d.h.textStart, up.off, up.value); err != nil {
 			return fmt.Errorf("store: write value: %w", err)
 		}
-		u.invalidateRange(uint32(d.h.textStart)+uint32(up.off/uint64(ps)), len(up.value)+int(up.off%uint64(ps)))
 
 		// Node record value pointer.
 		idx := uint32(up.node) - 1
 		page := d.h.nodeStart + idx/d.nodesPerPage
-		recBase := int64(page)*ps + int64(idx%d.nodesPerPage)*recordSize
+		recOff := int(idx%d.nodesPerPage)*recordSize + offValueOff
 		var buf [12]byte
 		binary.LittleEndian.PutUint64(buf[:8], up.off)
 		binary.LittleEndian.PutUint32(buf[8:], uint32(len(up.value)))
-		if _, err := u.file.WriteAt(buf[:], recBase+offValueOff); err != nil {
+		if err := u.writeInPage(page, recOff, buf[:]); err != nil {
 			return fmt.Errorf("store: write record: %w", err)
 		}
-		u.invalidateRange(page, 1)
 
 		// Header text-segment length.
 		if end := up.off + uint64(len(up.value)); end > d.h.textBytes {
 			d.h.textBytes = end
 			var hb [8]byte
 			binary.LittleEndian.PutUint64(hb[:], d.h.textBytes)
-			if _, err := u.file.WriteAt(hb[:], 36); err != nil {
+			if err := u.writeInPage(0, 36, hb[:]); err != nil {
 				return fmt.Errorf("store: write header: %w", err)
 			}
-			u.invalidateRange(0, 1)
 		}
 	}
 	return nil
 }
 
-// invalidateRange refreshes buffered frames overlapping the written bytes
-// by dropping them; the next access re-reads from the file.
-func (u *Updater) invalidateRange(startPage uint32, byteLen int) {
-	u.doc.dropRecordCache()
-	pages := (byteLen + int(u.doc.h.pageSize) - 1) / int(u.doc.h.pageSize)
-	if pages < 1 {
-		pages = 1
-	}
-	for p := startPage; p < startPage+uint32(pages); p++ {
-		if f, ok := u.doc.buf.frames[p]; ok && f.pins == 0 {
-			u.doc.buf.lruRemove(f)
-			delete(u.doc.buf.frames, p)
-			u.doc.buf.free = append(u.doc.buf.free, f)
+// writeStream writes data at byte offset off of the usable-prefix stream
+// starting at startPage, splitting at page boundaries.
+func (u *Updater) writeStream(startPage uint32, off uint64, data []byte) error {
+	usable := u.doc.h.usable()
+	for len(data) > 0 {
+		page := startPage + uint32(off/uint64(usable))
+		inPage := int(off % uint64(usable))
+		n := usable - inPage
+		if n > len(data) {
+			n = len(data)
 		}
+		if err := u.writeInPage(page, inPage, data[:n]); err != nil {
+			return err
+		}
+		off += uint64(n)
+		data = data[n:]
+	}
+	return nil
+}
+
+// writeInPage read-modify-writes data at byte offset off of one page's
+// usable prefix, resealing the version-2 checksum and invalidating the
+// buffered copy. Pages at or past EOF read as zero (text appends grow the
+// file).
+func (u *Updater) writeInPage(page uint32, off int, data []byte) error {
+	d := u.doc
+	ps := int(d.h.pageSize)
+	if off+len(data) > d.h.usable() {
+		return fmt.Errorf("store: page-local write beyond usable bytes")
+	}
+	buf := make([]byte, ps)
+	base := int64(page) * int64(ps)
+	if _, err := u.file.ReadAt(buf, base); err != nil && err != io.EOF {
+		return fmt.Errorf("store: reread page %d: %w", page, err)
+	}
+	copy(buf[off:], data)
+	if d.h.version >= 2 {
+		sealPage(buf)
+	}
+	if _, err := u.file.WriteAt(buf, base); err != nil {
+		return fmt.Errorf("store: write page %d: %w", page, err)
+	}
+	u.invalidatePage(page)
+	return nil
+}
+
+// invalidatePage drops the buffered frame of a rewritten page; the next
+// access re-reads from the file.
+func (u *Updater) invalidatePage(page uint32) {
+	u.doc.dropRecordCache()
+	if f, ok := u.doc.buf.frames[page]; ok && f.pins == 0 {
+		u.doc.buf.lruRemove(f)
+		delete(u.doc.buf.frames, page)
+		u.doc.buf.free = append(u.doc.buf.free, f)
 	}
 }
 
@@ -254,7 +292,10 @@ func Recover(path string) error {
 		return fmt.Errorf("store: recover %s: %w", path, err)
 	}
 	defer f.Close()
-	doc, err := OpenReaderAt(f, Options{BufferPages: 4})
+	// Redo must read pages the crash may have torn mid-write; every page
+	// it touches is rewritten with a fresh checksum, so verification is
+	// deferred to the real open that follows recovery.
+	doc, err := OpenReaderAt(f, Options{BufferPages: 4, SkipVerify: true})
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 
@@ -25,7 +26,7 @@ func Write(path string, d dom.Document) error {
 
 // WriteTo serializes a document into the paged store format.
 func WriteTo(w io.Writer, d dom.Document) error {
-	return writeDoc(w, d, DefaultPageSize)
+	return writeDoc(w, d, DefaultPageSize, FormatVersion)
 }
 
 // ImportXML parses XML from r and writes it as a store file at path.
@@ -61,7 +62,10 @@ func (t *nameTable) intern(s string) uint32 {
 	return i
 }
 
-func writeDoc(w io.Writer, d dom.Document, pageSize int) error {
+// writeDoc serializes at the given format version. Version 1 is kept
+// writable for backward-compatibility tests; production paths write
+// FormatVersion.
+func writeDoc(w io.Writer, d dom.Document, pageSize, version int) error {
 	nodeCount := uint32(d.NodeCount())
 
 	// Pass 1: intern names, accumulate text-segment offsets.
@@ -84,31 +88,32 @@ func writeDoc(w io.Writer, d dom.Document, pageSize int) error {
 		}
 	}
 
-	// Layout.
-	nameBytes := 4 + names.size // count prefix + entries
-	namePages := pagesFor(nameBytes, pageSize)
-	nodesPerPage := uint32(pageSize / recordSize)
-	nodePages := (nodeCount + nodesPerPage - 1) / nodesPerPage
+	// Layout. All stream offsets address the concatenation of the pages'
+	// usable prefixes (everything before the version-2 checksum trailer).
 	h := header{
+		version:   uint32(version),
 		pageSize:  uint32(pageSize),
 		nodeCount: nodeCount,
-		nameStart: 1,
-		nameBytes: nameBytes,
-		nodeStart: 1 + namePages,
-		textStart: 1 + namePages + nodePages,
+		nameBytes: 4 + names.size, // count prefix + entries
 		textBytes: textBytes,
 	}
+	usable := h.usable()
+	namePages := pagesFor(h.nameBytes, usable)
+	nodesPerPage := uint32(usable / recordSize)
+	nodePages := (nodeCount + nodesPerPage - 1) / nodesPerPage
+	h.nameStart = 1
+	h.nodeStart = 1 + namePages
+	h.textStart = 1 + namePages + nodePages
 
 	bw := bufio.NewWriterSize(w, pageSize*4)
-	pw := &pageWriter{w: bw, pageSize: pageSize}
+	pw := &pageWriter{w: bw, usable: usable, seal: version >= 2}
 
-	// Header page.
-	hdr := make([]byte, pageSize)
+	// Header page: encoded into the usable prefix, sealed like any other.
+	hdr := make([]byte, usable)
 	h.encode(hdr)
-	if _, err := bw.Write(hdr); err != nil {
+	if err := pw.write(hdr); err != nil {
 		return err
 	}
-	pw.written = pageSize
 
 	// Name table stream.
 	var u32buf [4]byte
@@ -170,28 +175,64 @@ func writeDoc(w io.Writer, d dom.Document, pageSize int) error {
 	return bw.Flush()
 }
 
-func pagesFor(bytes uint64, pageSize int) uint32 {
-	return uint32((bytes + uint64(pageSize) - 1) / uint64(pageSize))
+func pagesFor(bytes uint64, usable int) uint32 {
+	return uint32((bytes + uint64(usable) - 1) / uint64(usable))
 }
 
-// pageWriter tracks page alignment over a byte stream.
+// pageWriter tracks page alignment over a byte stream of usable-sized
+// pages; when sealing (format version 2), a running CRC32 of each page's
+// data is appended as its checksum trailer at every page boundary.
 type pageWriter struct {
-	w        io.Writer
-	pageSize int
-	written  int
+	w      io.Writer
+	usable int
+	seal   bool
+
+	inPage int
+	crc    uint32
 }
 
 func (p *pageWriter) write(b []byte) error {
-	n, err := p.w.Write(b)
-	p.written += n
+	for len(b) > 0 {
+		n := p.usable - p.inPage
+		if n > len(b) {
+			n = len(b)
+		}
+		chunk := b[:n]
+		if _, err := p.w.Write(chunk); err != nil {
+			return err
+		}
+		if p.seal {
+			p.crc = crc32.Update(p.crc, crc32.IEEETable, chunk)
+		}
+		p.inPage += n
+		b = b[n:]
+		if p.inPage == p.usable {
+			if err := p.finishPage(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// finishPage emits the checksum trailer of the completed page.
+func (p *pageWriter) finishPage() error {
+	p.inPage = 0
+	if !p.seal {
+		return nil
+	}
+	var trailer [checksumSize]byte
+	binary.LittleEndian.PutUint32(trailer[:], p.crc)
+	p.crc = 0
+	_, err := p.w.Write(trailer[:])
 	return err
 }
 
-// pad fills the current page with zeroes up to the next boundary.
+// pad fills the current page's usable prefix with zeroes up to the next
+// boundary (sealing it in passing).
 func (p *pageWriter) pad() error {
-	slack := p.written % p.pageSize
-	if slack == 0 {
+	if p.inPage == 0 {
 		return nil
 	}
-	return p.write(make([]byte, p.pageSize-slack))
+	return p.write(make([]byte, p.usable-p.inPage))
 }

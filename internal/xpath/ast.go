@@ -47,24 +47,24 @@ var binOpNames = [...]string{
 // String returns the XPath spelling of the operator.
 func (op BinOp) String() string { return binOpNames[op] }
 
-// CompareOp maps a comparison BinOp to the shared xval operator. It panics
-// for non-comparison operators.
-func (op BinOp) CompareOp() xval.CompareOp {
+// CompareOp maps a comparison BinOp to the shared xval operator; the error
+// case is a non-comparison operator.
+func (op BinOp) CompareOp() (xval.CompareOp, error) {
 	switch op {
 	case OpEq:
-		return xval.OpEq
+		return xval.OpEq, nil
 	case OpNe:
-		return xval.OpNe
+		return xval.OpNe, nil
 	case OpLt:
-		return xval.OpLt
+		return xval.OpLt, nil
 	case OpLe:
-		return xval.OpLe
+		return xval.OpLe, nil
 	case OpGt:
-		return xval.OpGt
+		return xval.OpGt, nil
 	case OpGe:
-		return xval.OpGe
+		return xval.OpGe, nil
 	}
-	panic(fmt.Sprintf("xpath: %v is not a comparison", op))
+	return 0, fmt.Errorf("xpath: %v is not a comparison", op)
 }
 
 // IsComparison reports whether the operator is one of = != < <= > >=.

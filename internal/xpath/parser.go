@@ -24,15 +24,6 @@ func Parse(expr string) (Expr, error) {
 	return e, nil
 }
 
-// MustParse parses or panics; for tests and static query tables.
-func MustParse(expr string) Expr {
-	e, err := Parse(expr)
-	if err != nil {
-		panic(err)
-	}
-	return e
-}
-
 type parser struct {
 	expr string
 	toks []token

@@ -7,6 +7,16 @@ import (
 	"natix/internal/dom"
 )
 
+// mustParse is the test-local replacement for the removed library MustParse:
+// the library itself no longer contains any panic path.
+func mustParse(expr string) Expr {
+	e, err := Parse(expr)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
 // TestParseRoundTrip checks that expressions parse and render to the
 // expected unabbreviated form.
 func TestParseRoundTrip(t *testing.T) {
@@ -101,7 +111,7 @@ func TestParseIdempotent(t *testing.T) {
 		"-(-3) + 4 * -2",
 	}
 	for _, in := range exprs {
-		e1 := MustParse(in)
+		e1 := mustParse(in)
 		e2, err := Parse(e1.String())
 		if err != nil {
 			t.Fatalf("re-parse of %q (%q): %v", in, e1.String(), err)
@@ -151,7 +161,7 @@ func TestParseErrors(t *testing.T) {
 }
 
 func TestStepStructure(t *testing.T) {
-	e := MustParse("/child::xdoc/descendant::*/ancestor::*[1]/@id")
+	e := mustParse("/child::xdoc/descendant::*/ancestor::*[1]/@id")
 	lp, ok := e.(*LocationPath)
 	if !ok {
 		t.Fatalf("expected LocationPath, got %T", e)
@@ -174,7 +184,7 @@ func TestStepStructure(t *testing.T) {
 }
 
 func TestPathExprStructure(t *testing.T) {
-	e := MustParse("id('x')/a")
+	e := mustParse("id('x')/a")
 	pe, ok := e.(*Path)
 	if !ok {
 		t.Fatalf("expected Path, got %T", e)
@@ -186,7 +196,7 @@ func TestPathExprStructure(t *testing.T) {
 		t.Errorf("rel = %v", pe.Rel)
 	}
 	// A filtered primary keeps its predicates on the Filter node.
-	e2 := MustParse("(//a)[2]/b")
+	e2 := mustParse("(//a)[2]/b")
 	pe2 := e2.(*Path)
 	f, ok := pe2.Base.(*Filter)
 	if !ok {
@@ -198,7 +208,7 @@ func TestPathExprStructure(t *testing.T) {
 }
 
 func TestWalk(t *testing.T) {
-	e := MustParse("a[b = 1]/c[position() < last()] | d")
+	e := mustParse("a[b = 1]/c[position() < last()] | d")
 	var funcs, steps int
 	Walk(e, func(x Expr) bool {
 		switch x.(type) {
@@ -228,11 +238,11 @@ func TestLexerDisambiguation(t *testing.T) {
 	if _, err := Parse("2*3"); err != nil {
 		t.Errorf("2*3: %v", err)
 	}
-	if e := MustParse("a/*"); !strings.Contains(e.String(), "child::*") {
+	if e := mustParse("a/*"); !strings.Contains(e.String(), "child::*") {
 		t.Errorf("a/* = %s", e)
 	}
 	// Operator names in operand position are ordinary element names.
-	e := MustParse("and/or/div/mod")
+	e := mustParse("and/or/div/mod")
 	want := "child::and/child::or/child::div/child::mod"
 	if e.String() != want {
 		t.Errorf("operator-name elements: %s, want %s", e, want)

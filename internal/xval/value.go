@@ -135,22 +135,34 @@ func (v Value) String() string {
 	return ""
 }
 
+// ConversionError reports a conversion XPath 1.0 does not define: into a
+// node-set from anything but a node-set.
+type ConversionError struct {
+	From, To Kind
+}
+
+// Error implements error.
+func (e *ConversionError) Error() string {
+	return fmt.Sprintf("xval: cannot convert %s to %s", e.From, e.To)
+}
+
 // Convert coerces the value to the requested kind. Converting to a node-set
 // is only the identity conversion; XPath 1.0 defines no conversion into
-// node-sets, and callers must not request one for a non-node-set value.
-func (v Value) Convert(k Kind) Value {
+// node-sets, and requesting one for a non-node-set value is a
+// *ConversionError.
+func (v Value) Convert(k Kind) (Value, error) {
 	if v.Kind == k {
-		return v
+		return v, nil
 	}
 	switch k {
 	case KindBoolean:
-		return Bool(v.Boolean())
+		return Bool(v.Boolean()), nil
 	case KindNumber:
-		return Num(v.Number())
+		return Num(v.Number()), nil
 	case KindString:
-		return Str(v.String())
+		return Str(v.String()), nil
 	}
-	panic(fmt.Sprintf("xval: cannot convert %s to %s", v.Kind, k))
+	return Value{}, &ConversionError{From: v.Kind, To: k}
 }
 
 // ParseNumber implements the string-to-number conversion of the XPath

@@ -1,6 +1,7 @@
 package xval
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -254,23 +255,24 @@ func TestKindString(t *testing.T) {
 
 func TestConvert(t *testing.T) {
 	v := Str("3.5")
-	if got := v.Convert(KindNumber); got.N != 3.5 {
-		t.Errorf("Convert to number: %v", got.N)
+	if got, err := v.Convert(KindNumber); err != nil || got.N != 3.5 {
+		t.Errorf("Convert to number: %v, %v", got.N, err)
 	}
-	if got := Num(0).Convert(KindBoolean); got.B {
-		t.Error("Convert 0 to boolean should be false")
+	if got, err := Num(0).Convert(KindBoolean); err != nil || got.B {
+		t.Errorf("Convert 0 to boolean should be false (%v)", err)
 	}
-	if got := Num(2).Convert(KindString); got.S != "2" {
-		t.Errorf("Convert to string: %q", got.S)
+	if got, err := Num(2).Convert(KindString); err != nil || got.S != "2" {
+		t.Errorf("Convert to string: %q, %v", got.S, err)
 	}
 	ns := NodeSet(nil)
-	if got := ns.Convert(KindNodeSet); !got.IsNodeSet() {
-		t.Error("identity conversion")
+	if got, err := ns.Convert(KindNodeSet); err != nil || !got.IsNodeSet() {
+		t.Errorf("identity conversion (%v)", err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("Convert(string→node-set) should panic")
-		}
-	}()
-	_ = Str("x").Convert(KindNodeSet)
+	_, err := Str("x").Convert(KindNodeSet)
+	var ce *ConversionError
+	if !errors.As(err, &ce) {
+		t.Errorf("Convert(string→node-set) = %v, want *ConversionError", err)
+	} else if ce.From != KindString || ce.To != KindNodeSet {
+		t.Errorf("ConversionError fields: %+v", ce)
+	}
 }

@@ -20,12 +20,15 @@
 package natix
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime/debug"
 
 	"natix/internal/algebra"
 	"natix/internal/codegen"
 	"natix/internal/dom"
+	"natix/internal/guard"
 	"natix/internal/physical"
 	"natix/internal/sem"
 	"natix/internal/translate"
@@ -45,6 +48,31 @@ type Stats = physical.Stats
 
 // Document is the navigational interface all evaluation runs against.
 type Document = dom.Document
+
+// Limits bounds resource consumption of each execution of a query. The zero
+// value is unlimited in every dimension.
+type Limits = guard.Limits
+
+// LimitError is returned from Run/RunContext when an execution exceeds one
+// of its Limits budgets; test with errors.As.
+type LimitError = guard.LimitError
+
+// InternalError is returned from Run/RunContext when the engine panics: a
+// defect in the engine, never a property of the input. The original query
+// and the panic's stack trace are attached for bug reports.
+type InternalError struct {
+	// Expr is the source expression of the query that crashed.
+	Expr string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("natix: internal error running %q: %v", e.Expr, e.Value)
+}
 
 // TranslationMode selects the translation strategy.
 type TranslationMode int
@@ -68,6 +96,11 @@ type Options struct {
 	Namespaces map[string]string
 	// Vars, when non-nil, restricts referencable variables at compile time.
 	Vars map[string]struct{}
+
+	// Limits bounds every execution of the compiled query (RunContext
+	// accepts no per-run override; compile twice for different budgets).
+	// Zero fields are unlimited.
+	Limits Limits
 
 	// The remaining flags override single features of the Improved mode
 	// for ablation studies; they are ignored under Canonical.
@@ -129,6 +162,7 @@ type Query struct {
 	root   sem.Expr
 	trans  *translate.Result
 	plan   *codegen.Plan
+	limits Limits
 }
 
 // Compile compiles an XPath 1.0 expression with default options.
@@ -159,7 +193,7 @@ func CompileWith(expr string, opt Options) (*Query, error) {
 		return nil, fmt.Errorf("compile %q: %w", expr, err)
 	}
 	plan.DisableSmartAgg = opt.DisableSmartAggregation
-	return &Query{source: expr, root: root, trans: trans, plan: plan}, nil
+	return &Query{source: expr, root: root, trans: trans, plan: plan, limits: opt.Limits}, nil
 }
 
 // MustCompile compiles or panics; for static query tables.
@@ -196,13 +230,32 @@ func (r *Result) SortedNodes() []Node {
 }
 
 // Run evaluates the query with ctx as context node and the given variable
-// bindings.
+// bindings. It is RunContext without a cancellation context.
 func (q *Query) Run(ctx Node, vars map[string]Value) (*Result, error) {
-	res, err := q.plan.Run(ctx, vars)
-	if err != nil {
-		return nil, fmt.Errorf("run %q: %w", q.source, err)
+	return q.RunContext(context.Background(), ctx, vars)
+}
+
+// RunContext evaluates the query with node as context node under a
+// cancellation context. Cancellation and deadline expiry surface as
+// context.Canceled / context.DeadlineExceeded (via errors.Is); exhausted
+// Options.Limits budgets as a *LimitError; document corruption and I/O
+// failures as the store's error. In every case all iterators are closed and
+// buffer pages unpinned before the call returns.
+//
+// The execution boundary is panic-safe: an engine panic is recovered and
+// returned as a *InternalError rather than crashing the process.
+func (q *Query) RunContext(stdctx context.Context, node Node, vars map[string]Value) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &InternalError{Expr: q.source, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	pres, perr := q.plan.RunContext(stdctx, q.limits, node, vars)
+	if perr != nil {
+		return nil, fmt.Errorf("run %q: %w", q.source, perr)
 	}
-	return &Result{Value: res.Value, Stats: res.Stats}, nil
+	return &Result{Value: pres.Value, Stats: pres.Stats}, nil
 }
 
 // ExplainAlgebra renders the translated logical algebra expression.

@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI gate: vet, build, and the full test suite under the race detector.
+# Run from the repository root:  ./scripts/ci.sh
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
