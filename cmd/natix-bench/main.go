@@ -25,16 +25,31 @@ import (
 	"time"
 
 	"natix/internal/bench"
+	"natix/internal/metrics"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig5, fig6..fig9, fig10, ablations, buffer, or all")
+	metricsDump := flag.Bool("metrics", false, "print the process metrics registry (Prometheus text format) after the run")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address during the run")
 	sizes := flag.String("sizes", "", "comma-separated element counts (default: the paper's 2000..80000 sweep)")
 	engines := flag.String("engines", "", "comma-separated engine subset")
 	pubs := flag.Int("pubs", 100000, "fig10: synthetic DBLP publication count")
 	repeats := flag.Int("repeats", 3, "runs averaged per point")
 	budget := flag.Duration("budget", 15*time.Second, "drop an engine from larger sizes after exceeding this per-run budget")
 	flag.Parse()
+
+	if *metricsDump {
+		metrics.Enable()
+		defer os.Stderr.WriteString(metrics.Default.String())
+	}
+	if *debugAddr != "" {
+		addr, err := metrics.Serve(*debugAddr)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/metrics\n", addr)
+	}
 
 	cfg := bench.Config{
 		Repeats: *repeats,

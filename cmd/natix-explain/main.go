@@ -7,15 +7,18 @@
 //
 //	natix-explain '//a[position() = last()]/@id'
 //	natix-explain -all '/a/b[count(c) = 2]'
+//	natix-explain -analyze doc.xml '//a[b > 1]'
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"natix"
+	"natix/internal/dom"
 	"natix/internal/xpath"
 )
 
@@ -25,6 +28,7 @@ func main() {
 	dot := flag.Bool("dot", false, "emit the plan as a Graphviz digraph instead of text")
 	mode := flag.String("mode", "improved", "translation mode: improved or canonical")
 	ns := flag.String("ns", "", "namespace bindings: prefix=uri,prefix=uri")
+	analyze := flag.String("analyze", "", "run the query instrumented against this XML document and show the annotated operator tree")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: natix-explain [flags] <query>\n")
 		flag.PrintDefaults()
@@ -34,7 +38,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *mode, *all, *phys, *dot, *ns); err != nil {
+	if err := run(flag.Arg(0), *mode, *all, *phys, *dot, *ns, *analyze); err != nil {
 		fmt.Fprintln(os.Stderr, "natix-explain:", err)
 		os.Exit(1)
 	}
@@ -55,10 +59,13 @@ func parseNS(s string) (map[string]string, error) {
 	return out, nil
 }
 
-func run(query, mode string, all, phys, dot bool, nsSpec string) error {
+func run(query, mode string, all, phys, dot bool, nsSpec, analyzePath string) error {
 	namespaces, err := parseNS(nsSpec)
 	if err != nil {
 		return err
+	}
+	if analyzePath != "" {
+		return runAnalyze(query, mode, namespaces, analyzePath)
 	}
 
 	ast, err := xpath.Parse(query)
@@ -127,5 +134,37 @@ func run(query, mode string, all, phys, dot bool, nsSpec string) error {
 			fmt.Print(q.ExplainPhysical())
 		}
 	}
+	return nil
+}
+
+// runAnalyze executes the query instrumented against a document and prints
+// the annotated operator tree.
+func runAnalyze(query, mode string, namespaces map[string]string, path string) error {
+	opt := natix.Options{Namespaces: namespaces}
+	switch mode {
+	case "improved":
+	case "canonical":
+		opt.Mode = natix.Canonical
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	q, err := natix.CompileWith(query, opt)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	doc, err := dom.Parse(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	a, err := q.ExplainAnalyze(context.Background(), natix.RootNode(doc), nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(a.Tree)
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 
 	"natix/internal/dom"
 	"natix/internal/gen"
+	"natix/internal/metrics"
 	"natix/internal/store"
 )
 
@@ -28,11 +29,18 @@ func main() {
 	seed := flag.Int64("seed", 2005, "dblp: generator seed")
 	out := flag.String("o", "", "output file (default stdout, XML only)")
 	asStore := flag.Bool("store", false, "write the paged store format instead of XML (requires -o)")
+	metricsDump := flag.Bool("metrics", false, "print the process metrics registry after generation")
 	flag.Parse()
 
+	if *metricsDump {
+		metrics.Enable()
+	}
 	if err := run(*kind, *elements, *fanout, *depth, *pubs, *seed, *out, *asStore); err != nil {
 		fmt.Fprintln(os.Stderr, "natix-gen:", err)
 		os.Exit(1)
+	}
+	if *metricsDump {
+		os.Stderr.WriteString(metrics.Default.String())
 	}
 }
 

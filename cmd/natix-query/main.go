@@ -20,6 +20,7 @@ import (
 
 	"natix"
 	"natix/internal/dom"
+	"natix/internal/metrics"
 	"natix/internal/store"
 )
 
@@ -42,6 +43,9 @@ func main() {
 	useStore := flag.Bool("store", false, "treat the document as a natix store file")
 	explain := flag.Bool("explain", false, "print the algebra plan before evaluating")
 	stats := flag.Bool("stats", false, "print engine statistics after evaluating")
+	analyze := flag.Bool("explain-analyze", false, "run the query instrumented and print the annotated operator tree")
+	metricsDump := flag.Bool("metrics", false, "print the process metrics registry (Prometheus text format) after evaluating")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address while the query runs")
 	bufPages := flag.Int("buffer", 0, "store buffer capacity in pages (0 = default)")
 	timeout := flag.Duration("timeout", 0, "abort evaluation after this duration (0 = none)")
 	maxMem := flag.Int64("max-mem", 0, "abort when the query materializes more than this many bytes (0 = unlimited)")
@@ -55,13 +59,27 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *mode, *useStore, *explain, *stats, *bufPages, *timeout, *maxMem, ns); err != nil {
+	if *metricsDump || *debugAddr != "" {
+		metrics.Enable()
+	}
+	if *debugAddr != "" {
+		addr, err := metrics.Serve(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "natix-query:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/metrics\n", addr)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *mode, *useStore, *explain, *analyze, *stats, *bufPages, *timeout, *maxMem, ns); err != nil {
 		fmt.Fprintln(os.Stderr, "natix-query:", err)
 		os.Exit(1)
 	}
+	if *metricsDump {
+		os.Stderr.WriteString(metrics.Default.String())
+	}
 }
 
-func run(query, path, mode string, useStore, explain, stats bool, bufPages int, timeout time.Duration, maxMem int64, ns map[string]string) error {
+func run(query, path, mode string, useStore, explain, analyze, stats bool, bufPages int, timeout time.Duration, maxMem int64, ns map[string]string) error {
 	opt := natix.Options{Namespaces: ns, Limits: natix.Limits{MaxBytes: maxMem}}
 	switch mode {
 	case "improved":
@@ -105,9 +123,19 @@ func run(query, path, mode string, useStore, explain, stats bool, bufPages int, 
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	res, err := q.RunContext(ctx, natix.RootNode(doc), nil)
-	if err != nil {
-		return err
+	var res *natix.Result
+	if analyze {
+		a, err := q.ExplainAnalyze(ctx, natix.RootNode(doc), nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(os.Stderr, a.Tree)
+		res = a.Result
+	} else {
+		res, err = q.RunContext(ctx, natix.RootNode(doc), nil)
+		if err != nil {
+			return err
+		}
 	}
 	printResult(res)
 	if stats {
@@ -127,7 +155,8 @@ func printResult(res *natix.Result) {
 		fmt.Println(res.Value.String())
 		return
 	}
-	for _, n := range res.SortedNodes() {
+	nodes, _ := res.SortedNodeSet()
+	for _, n := range nodes {
 		switch n.Kind() {
 		case dom.KindAttribute:
 			fmt.Printf("@%s=%q\n", n.Name(), n.Value())

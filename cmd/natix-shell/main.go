@@ -25,6 +25,7 @@ import (
 
 	"natix"
 	"natix/internal/dom"
+	"natix/internal/metrics"
 	"natix/internal/store"
 	"natix/internal/xval"
 )
@@ -33,6 +34,7 @@ func main() {
 	useStore := flag.Bool("store", false, "treat the document as a natix store file")
 	timeout := flag.Duration("timeout", 0, "abort each evaluation after this duration (0 = none)")
 	maxMem := flag.Int64("max-mem", 0, "abort evaluations materializing more than this many bytes (0 = unlimited)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address for the session")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: natix-shell [flags] <document>\n")
 		flag.PrintDefaults()
@@ -41,6 +43,14 @@ func main() {
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		addr, err := metrics.Serve(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "natix-shell:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/metrics\n", addr)
 	}
 	doc, closer, err := loadDoc(flag.Arg(0), *useStore)
 	if err != nil {
@@ -133,6 +143,8 @@ func (s *shell) help() {
   <xpath>                 evaluate against the current context node
   \explain <xpath>        show the algebra plan
   \physical <xpath>       show the physical plan with NVM disassembly
+  \analyze <xpath>        run instrumented and show the annotated operator tree
+  \metrics on|off|show    toggle metrics collection / dump the registry
   \mode canonical|improved  switch the translation (current shown by \mode)
   \set $name <value>      bind a variable (number if numeric, else string)
   \ns prefix=uri          declare a namespace prefix
@@ -208,6 +220,29 @@ func (s *shell) command(line string) {
 		}
 		s.ns[prefix] = uri
 		fmt.Fprintf(s.out, "xmlns:%s = %s\n", prefix, uri)
+	case "analyze":
+		q, err := natix.CompileWith(arg, s.options())
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return
+		}
+		a, err := q.ExplainAnalyze(context.Background(), s.ctx, s.vars)
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return
+		}
+		fmt.Fprint(s.out, a.Tree)
+	case "metrics":
+		switch arg {
+		case "on":
+			metrics.Enable()
+			fmt.Fprintln(s.out, "metrics: on")
+		case "off":
+			metrics.Disable()
+			fmt.Fprintln(s.out, "metrics: off")
+		default:
+			fmt.Fprint(s.out, metrics.Default.String())
+		}
 	case "context":
 		q, err := natix.CompileWith(arg, s.options())
 		if err != nil {
@@ -219,7 +254,11 @@ func (s *shell) command(line string) {
 			fmt.Fprintln(s.out, "error:", err)
 			return
 		}
-		nodes := res.SortedNodes()
+		nodes, ok := res.SortedNodeSet()
+		if !ok {
+			fmt.Fprintln(s.out, "error: result is not a node-set, context unchanged")
+			return
+		}
 		if len(nodes) == 0 {
 			fmt.Fprintln(s.out, "error: empty result, context unchanged")
 			return
@@ -251,7 +290,7 @@ func (s *shell) eval(expr string) {
 	if !res.Value.IsNodeSet() {
 		fmt.Fprintln(s.out, res.Value.String())
 	} else {
-		nodes := res.SortedNodes()
+		nodes, _ := res.SortedNodeSet()
 		for i, n := range nodes {
 			if i == 20 {
 				fmt.Fprintf(s.out, "... %d more\n", len(nodes)-i)

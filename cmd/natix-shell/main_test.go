@@ -162,3 +162,57 @@ func TestLoadDoc(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+// TestShellContextScalar: \context with a non-node-set result used to panic
+// via Result.SortedNodes; it must now report an error and keep the context.
+func TestShellContextScalar(t *testing.T) {
+	sh, out := testShell(t)
+	before := sh.ctx
+	sh.exec("\\context count(//item)")
+	if !strings.Contains(out.String(), "not a node-set") {
+		t.Errorf("scalar context output: %s", out.String())
+	}
+	if sh.ctx != before {
+		t.Error("context moved on scalar result")
+	}
+	out.Reset()
+	sh.exec("\\context //item[@p='2']")
+	if !strings.Contains(out.String(), "context:") {
+		t.Errorf("node context output: %s", out.String())
+	}
+}
+
+func TestShellAnalyze(t *testing.T) {
+	sh, out := testShell(t)
+	sh.exec("\\analyze //item[@p > 1]")
+	got := out.String()
+	for _, want := range []string{"totals:", "out="} {
+		if !strings.Contains(got, want) {
+			t.Errorf("\\analyze output missing %q: %s", want, got)
+		}
+	}
+	out.Reset()
+	sh.exec("\\analyze ][")
+	if !strings.Contains(out.String(), "error:") {
+		t.Errorf("\\analyze bad query: %s", out.String())
+	}
+}
+
+func TestShellMetrics(t *testing.T) {
+	sh, out := testShell(t)
+	sh.exec("\\metrics on")
+	if !strings.Contains(out.String(), "metrics: on") {
+		t.Errorf("metrics on: %s", out.String())
+	}
+	out.Reset()
+	sh.exec("//item")
+	sh.exec("\\metrics show")
+	if !strings.Contains(out.String(), "natix_runs_total") {
+		t.Errorf("metrics dump: %s", out.String())
+	}
+	out.Reset()
+	sh.exec("\\metrics off")
+	if !strings.Contains(out.String(), "metrics: off") {
+		t.Errorf("metrics off: %s", out.String())
+	}
+}

@@ -94,20 +94,23 @@ func TestResultHelpers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nodes := res.SortedNodes()
-	if len(nodes) != 2 || nodes[0].LocalName() != "b" || nodes[1].LocalName() != "a" {
-		t.Errorf("SortedNodes: %v", nodes)
+	nodes, ok := res.SortedNodeSet()
+	if !ok || len(nodes) != 2 || nodes[0].LocalName() != "b" || nodes[1].LocalName() != "a" {
+		t.Errorf("SortedNodeSet: %v, %v", nodes, ok)
+	}
+	if legacy := res.SortedNodes(); len(legacy) != 2 {
+		t.Errorf("SortedNodes: %v", legacy)
 	}
 	scalar, err := MustCompile("1 + 1").Run(RootNode(d), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("SortedNodes on scalar should panic")
-		}
-	}()
-	scalar.SortedNodes()
+	if nodes, ok := scalar.SortedNodeSet(); ok || nodes != nil {
+		t.Errorf("SortedNodeSet on scalar: %v, %v", nodes, ok)
+	}
+	if nodes := scalar.SortedNodes(); nodes != nil {
+		t.Errorf("SortedNodes on scalar should return nil, got %v", nodes)
+	}
 }
 
 func TestCompileErrors(t *testing.T) {

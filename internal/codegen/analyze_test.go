@@ -1,0 +1,93 @@
+package codegen
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"natix/internal/dom"
+	"natix/internal/guard"
+	"natix/internal/translate"
+)
+
+// fig5sample is a small document with enough structure that the Fig. 5
+// style query below produces non-trivial operator traffic.
+const fig5sample = `<site><people>` +
+	`<person id="p1"><name>Ann</name><age>31</age></person>` +
+	`<person id="p2"><name>Bob</name><age>17</age></person>` +
+	`<person id="p3"><name>Cat</name><age>42</age></person>` +
+	`</people></site>`
+
+// TestAnalyzeTupleConsistency: the sum of tuples produced by scan-family
+// operators in the instrumented profile must equal the engine's own
+// Stats.Tuples account — two independent counters of the same events.
+func TestAnalyzeTupleConsistency(t *testing.T) {
+	d, _ := dom.ParseString(fig5sample)
+	for _, expr := range []string{
+		"/site/people/person[age > 18]/name",
+		"count(//person)",
+		"//person[@id='p2']/name",
+		"/site/people/person/age | /site/people/person/name",
+	} {
+		plan := compileQuery(t, expr, translate.Improved())
+		prof := plan.NewProfile()
+		res, err := plan.run(context.Background(), guard.Limits{}, dom.Node{Doc: d, ID: d.Root()}, nil, prof)
+		if err != nil {
+			t.Fatalf("%s: run: %v", expr, err)
+		}
+		if got, want := plan.ScanTuples(prof), res.Stats.Tuples; got != want {
+			t.Errorf("%s: profiled scan tuples %d != Stats.Tuples %d", expr, got, want)
+		}
+	}
+}
+
+func TestExplainAnalyzeRendering(t *testing.T) {
+	d, _ := dom.ParseString(fig5sample)
+	plan := compileQuery(t, "/site/people/person[age > 18]/name", translate.Improved())
+	res, tree, err := plan.ExplainAnalyze(context.Background(), guard.Limits{}, dom.Node{Doc: d, ID: d.Root()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Value.Nodes) != 2 {
+		t.Fatalf("result %v", res.Value)
+	}
+	for _, want := range []string{"totals:", "out=", "opens=", "time=", "self="} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("annotated tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+// TestExplainAnalyzeScalar: scalar-only plans (no iterator tree) render the
+// program account instead of an operator tree.
+func TestExplainAnalyzeScalar(t *testing.T) {
+	d, _ := dom.ParseString(fig5sample)
+	plan := compileQuery(t, "count(//person) * 2", translate.Improved())
+	res, tree, err := plan.ExplainAnalyze(context.Background(), guard.Limits{}, dom.Node{Doc: d, ID: d.Root()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value.N != 6 {
+		t.Fatalf("result %v", res.Value)
+	}
+	if !strings.Contains(tree, "prog[") || !strings.Contains(tree, "runs=") {
+		t.Errorf("scalar analyze missing program account:\n%s", tree)
+	}
+}
+
+// TestProfileIsolation: a profiled run must not leak instrumentation into
+// subsequent plain runs of the same plan.
+func TestProfileIsolation(t *testing.T) {
+	d, _ := dom.ParseString(fig5sample)
+	plan := compileQuery(t, "//person/name", translate.Improved())
+	if _, _, err := plan.ExplainAnalyze(context.Background(), guard.Limits{}, dom.Node{Doc: d, ID: d.Root()}, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Run(dom.Node{Doc: d, ID: d.Root()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Value.Nodes) != 3 {
+		t.Fatalf("plain run after analyze: %v", res.Value)
+	}
+}

@@ -51,6 +51,12 @@ type Plan struct {
 	regs  map[string]int
 	progs map[algebra.Op][]*nvm.Program
 
+	// opSlot maps every compiled operator to its index in a Profile's Ops
+	// (ExplainAnalyze); numOps and numProgs size a fresh Profile.
+	opSlot   map[algebra.Op]int
+	numOps   int
+	numProgs int
+
 	ids   *xfn.IDIndex
 	names *xfn.NameIndex
 }
@@ -63,6 +69,7 @@ func Compile(res *translate.Result) (*Plan, error) {
 			ids:    xfn.NewIDIndex(),
 			names:  xfn.GlobalNames,
 			progs:  map[algebra.Op][]*nvm.Program{},
+			opSlot: map[algebra.Op]int{},
 		},
 		regs: map[string]int{},
 	}
@@ -109,6 +116,12 @@ type faulter interface{ Err() error }
 // limits. Cancellation and budget errors surface as the context's error or
 // a *guard.LimitError, with every opened iterator closed on the way out.
 func (p *Plan) RunContext(stdctx context.Context, limits guard.Limits, ctx dom.Node, vars map[string]xval.Value) (*Result, error) {
+	return p.run(stdctx, limits, ctx, vars, nil)
+}
+
+// run is the shared execution core; prof, when non-nil, threads per-operator
+// and per-program instrumentation through the machine and every iterator.
+func (p *Plan) run(stdctx context.Context, limits guard.Limits, ctx dom.Node, vars map[string]xval.Value, prof *physical.Profile) (*Result, error) {
 	if ctx.IsNil() {
 		return nil, fmt.Errorf("codegen: nil context node")
 	}
@@ -125,6 +138,10 @@ func (p *Plan) RunContext(stdctx context.Context, limits guard.Limits, ctx dom.N
 		Gov:         gov,
 	}
 	ex := &physical.Exec{M: m, IDs: p.ids, Names: p.names, CtxDoc: ctx.Doc, Gov: gov, WrapIter: p.WrapIter}
+	if prof != nil {
+		m.Prof = prof.Progs
+		ex.Prof = prof
+	}
 	m.Regs[p.ctxReg] = nvm.NodeVal(ctx)
 	m.Subplans = make([]nvm.Iterator, len(p.subplans))
 	for i, b := range p.subplans {
@@ -233,18 +250,30 @@ func (g *generator) producedRegs(op algebra.Op) []int {
 }
 
 // compile wraps compileOp so every instantiated iterator passes through the
-// Exec's WrapIter hook (leak-detection harnesses). Subplan roots and
+// Exec's WrapIter hook (leak-detection harnesses) and, on instrumented
+// executions, through a per-operator Instrumented shim. Subplan roots and
 // intermediate operators alike are wrapped, so a counting hook observes the
-// complete Open/Close traffic of a run.
+// complete Open/Close traffic of a run and a Profile accounts every
+// operator of the tree (pure-alias operators wrap their input's iterator
+// and report as pass-throughs).
 func (g *generator) compile(op algebra.Op) (builder, error) {
 	b, err := g.compileOp(op)
 	if err != nil {
 		return nil, err
 	}
+	slot, ok := g.plan.opSlot[op]
+	if !ok {
+		slot = g.plan.numOps
+		g.plan.numOps++
+		g.plan.opSlot[op] = slot
+	}
 	return func(ex *physical.Exec) physical.Iter {
 		it := b(ex)
 		if ex.WrapIter != nil {
 			it = ex.WrapIter(it)
+		}
+		if ex.Prof != nil {
+			it = &physical.Instrumented{It: it, Stat: &ex.Prof.Ops[slot], Gov: ex.Gov}
 		}
 		return it
 	}, nil

@@ -4,7 +4,7 @@ func init() {
 	// Additional sample documents for the extended suite.
 	Docs["table"] = `<t><r><c>1</c><c>2</c><c>3</c></r><r><c>4</c><c>5</c></r><r><c>6</c></r></t>`
 	Docs["book"] = `<bk><sec id="s1"><ttl>A</ttl><sec id="s2"><ttl>B</ttl><p>x</p></sec></sec><sec id="s3"><p>y</p></sec></bk>`
-	Cases = append(Cases, cases2...)
+	Register(cases2...)
 }
 
 // cases2 extends the suite: positional arithmetic per context, nested

@@ -67,21 +67,37 @@ var (
 // Doc returns the parsed sample document, cached across cases.
 func Doc(t testing.TB, name string) *dom.MemDoc {
 	t.Helper()
+	d, err := DocErr(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// DocErr is the non-fatal variant of Doc, for callers outside a test
+// context (the differential harness, tools).
+func DocErr(name string) (*dom.MemDoc, error) {
 	parsedMu.Lock()
 	defer parsedMu.Unlock()
 	if d, ok := parsed[name]; ok {
-		return d
+		return d, nil
 	}
 	src, ok := Docs[name]
 	if !ok {
-		t.Fatalf("conformance: unknown document %q", name)
+		return nil, fmt.Errorf("conformance: unknown document %q", name)
 	}
 	d, err := dom.ParseString(src)
 	if err != nil {
-		t.Fatalf("conformance: parse %q: %v", name, err)
+		return nil, fmt.Errorf("conformance: parse %q: %v", name, err)
 	}
 	parsed[name] = d
-	return d
+	return d, nil
+}
+
+// Register appends cases to the suite; extension files call it from init so
+// every engine's conformance run picks them up.
+func Register(cases ...Case) {
+	Cases = append(Cases, cases...)
 }
 
 // Render produces the canonical comparison form of a value. Node-sets are

@@ -1,0 +1,73 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"natix/internal/xval"
+)
+
+func TestDocErrUnknown(t *testing.T) {
+	if _, err := DocErr("no-such-doc"); err == nil {
+		t.Fatal("expected error for unknown document")
+	} else if !strings.Contains(err.Error(), "no-such-doc") {
+		t.Errorf("error does not name the document: %v", err)
+	}
+}
+
+func TestDocErrKnownAndCached(t *testing.T) {
+	d1, err := DocErr("basic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DocErr("basic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("DocErr does not cache: two parses of the same document")
+	}
+	if d1.NodeCount() == 0 {
+		t.Error("parsed document is empty")
+	}
+}
+
+func TestRegister(t *testing.T) {
+	before := len(Cases)
+	Register(
+		Case{Doc: "basic", Expr: "count(/root/a)", Want: "num:2"},
+		Case{Doc: "basic", Expr: "1 div 0", Want: "num:Infinity"},
+	)
+	t.Cleanup(func() { Cases = Cases[:before] })
+	if len(Cases) != before+2 {
+		t.Fatalf("Register appended %d cases, want 2", len(Cases)-before)
+	}
+	if Cases[before].Expr != "count(/root/a)" {
+		t.Errorf("registered case out of order: %q", Cases[before].Expr)
+	}
+}
+
+// TestEveryCaseDocResolves: each registered case must point at a known
+// sample document — a typo here would otherwise only fail at suite runtime.
+func TestEveryCaseDocResolves(t *testing.T) {
+	for _, c := range Cases {
+		if _, err := DocErr(c.Doc); err != nil {
+			t.Errorf("case %q: %v", c.Expr, err)
+		}
+	}
+}
+
+func TestRenderScalars(t *testing.T) {
+	for _, tc := range []struct {
+		v    xval.Value
+		want string
+	}{
+		{xval.Num(2.5), "num:2.5"},
+		{xval.Str("x"), "str:x"},
+		{xval.Bool(true), "bool:true"},
+	} {
+		if got := Render(tc.v); got != tc.want {
+			t.Errorf("Render(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package difftest
+
+import (
+	"testing"
+)
+
+// TestMatrix runs the full corpus across every configuration × backend cell
+// and fails on any divergence from the reference interpreter.
+func TestMatrix(t *testing.T) {
+	items, docs, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) < 200 {
+		t.Fatalf("corpus has %d queries, want >= 200", len(items))
+	}
+	configs := Configs()
+	backends := Backends()
+	if testing.Short() {
+		items = items[:60] // small fixed prefix; deterministic corpus order
+	}
+	divs, cells, err := Run(items, docs, configs, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("difftest: %d queries x %d configs x %d backends = %d cells",
+		len(items), len(configs), len(backends), cells)
+	for i, d := range divs {
+		if i >= 20 {
+			t.Errorf("... and %d more divergences", len(divs)-i)
+			break
+		}
+		t.Errorf("%s", d)
+	}
+}
+
+// TestUnknownDocument pins the harness's own error path.
+func TestUnknownDocument(t *testing.T) {
+	_, docs, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []Item{{DocName: "no-such-doc", Expr: "/"}}
+	if _, _, err := Run(items, docs, Configs()[:1], Backends()[:1]); err == nil {
+		t.Fatal("expected unknown-document error")
+	}
+}

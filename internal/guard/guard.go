@@ -16,7 +16,39 @@ package guard
 import (
 	"context"
 	"fmt"
+
+	"natix/internal/metrics"
 )
+
+// Trip metrics. Every path below is cold — the sticky error means each fires
+// at most once per execution — so they are gated only for symmetry with the
+// hot-path instrumentation elsewhere.
+var (
+	mTripTuples    = metrics.Default.Counter("natix_guard_tuple_limit_trips_total", "Executions aborted by the tuple budget.")
+	mTripBytes     = metrics.Default.Counter("natix_guard_byte_limit_trips_total", "Executions aborted by the materialized-byte budget.")
+	mTripSteps     = metrics.Default.Counter("natix_guard_step_limit_trips_total", "Executions aborted by the NVM step budget.")
+	mCancellations = metrics.Default.Counter("natix_guard_cancellations_total", "Executions aborted by context cancellation or deadline.")
+	mStoreFaults   = metrics.Default.Counter("natix_guard_store_faults_total", "Executions aborted by a sticky store fault.")
+)
+
+// trip records the sticky abort error and counts it.
+func (g *Governor) trip(err error) error {
+	g.err = err
+	if metrics.Enabled() {
+		switch e := err.(type) {
+		case *LimitError:
+			switch e.Budget {
+			case BudgetTuples:
+				mTripTuples.Inc()
+			case BudgetBytes:
+				mTripBytes.Inc()
+			case BudgetSteps:
+				mTripSteps.Inc()
+			}
+		}
+	}
+	return err
+}
 
 // Budget names one resource budget of Limits, for LimitError reporting.
 type Budget string
@@ -105,11 +137,17 @@ func (g *Governor) poll() error {
 	}
 	if err := g.ctx.Err(); err != nil {
 		g.err = err
+		if metrics.Enabled() {
+			mCancellations.Inc()
+		}
 		return err
 	}
 	if g.fault != nil {
 		if err := g.fault(); err != nil {
 			g.err = err
+			if metrics.Enabled() {
+				mStoreFaults.Inc()
+			}
 			return err
 		}
 	}
@@ -145,8 +183,7 @@ func (g *Governor) Tuples(n int64) error {
 		return nil
 	}
 	if g.limits.MaxTuples > 0 && n > g.limits.MaxTuples {
-		g.err = &LimitError{Budget: BudgetTuples, Limit: g.limits.MaxTuples}
-		return g.err
+		return g.trip(&LimitError{Budget: BudgetTuples, Limit: g.limits.MaxTuples})
 	}
 	return g.Event()
 }
@@ -158,8 +195,7 @@ func (g *Governor) Grow(n int64) error {
 	}
 	g.bytes += n
 	if g.limits.MaxBytes > 0 && g.bytes > g.limits.MaxBytes {
-		g.err = &LimitError{Budget: BudgetBytes, Limit: g.limits.MaxBytes}
-		return g.err
+		return g.trip(&LimitError{Budget: BudgetBytes, Limit: g.limits.MaxBytes})
 	}
 	return nil
 }
@@ -183,8 +219,7 @@ func (g *Governor) Steps(n int64) error {
 	}
 	g.steps += n
 	if g.limits.MaxSteps > 0 && g.steps > g.limits.MaxSteps {
-		g.err = &LimitError{Budget: BudgetSteps, Limit: g.limits.MaxSteps}
-		return g.err
+		return g.trip(&LimitError{Budget: BudgetSteps, Limit: g.limits.MaxSteps})
 	}
 	return g.Event()
 }

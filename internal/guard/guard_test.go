@@ -1,0 +1,186 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestNilGovernorNeverTrips(t *testing.T) {
+	var g *Governor
+	if err := g.Err(); err != nil {
+		t.Errorf("nil Err: %v", err)
+	}
+	if err := g.Check(); err != nil {
+		t.Errorf("nil Check: %v", err)
+	}
+	if err := g.Event(); err != nil {
+		t.Errorf("nil Event: %v", err)
+	}
+	if err := g.Tuples(1 << 40); err != nil {
+		t.Errorf("nil Tuples: %v", err)
+	}
+	if err := g.Grow(1 << 40); err != nil {
+		t.Errorf("nil Grow: %v", err)
+	}
+	g.Release(1) // must not panic
+	if err := g.Steps(1 << 40); err != nil {
+		t.Errorf("nil Steps: %v", err)
+	}
+	if g.Bytes() != 0 || g.NVMSteps() != 0 {
+		t.Error("nil accounting not zero")
+	}
+}
+
+func TestTupleBudget(t *testing.T) {
+	g := New(nil, Limits{MaxTuples: 10}, nil)
+	if err := g.Tuples(10); err != nil {
+		t.Fatalf("at the limit: %v", err)
+	}
+	err := g.Tuples(11)
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("over the limit: %v", err)
+	}
+	if le.Budget != BudgetTuples || le.Limit != 10 {
+		t.Errorf("limit error %+v", le)
+	}
+	// The error is sticky.
+	if err := g.Err(); !errors.As(err, &le) {
+		t.Errorf("sticky error lost: %v", err)
+	}
+}
+
+func TestByteBudgetGrowRelease(t *testing.T) {
+	g := New(nil, Limits{MaxBytes: 100}, nil)
+	if err := g.Grow(60); err != nil {
+		t.Fatal(err)
+	}
+	if g.Bytes() != 60 {
+		t.Fatalf("Bytes() = %d", g.Bytes())
+	}
+	g.Release(30)
+	if g.Bytes() != 30 {
+		t.Fatalf("after release: %d", g.Bytes())
+	}
+	// Budget tracks live bytes: 30 + 70 = 100 is exactly at the limit.
+	if err := g.Grow(70); err != nil {
+		t.Fatalf("back to the limit: %v", err)
+	}
+	err := g.Grow(1)
+	var le *LimitError
+	if !errors.As(err, &le) || le.Budget != BudgetBytes {
+		t.Fatalf("over: %v", err)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	g := New(nil, Limits{MaxSteps: 1000}, nil)
+	for i := 0; i < 10; i++ {
+		if err := g.Steps(100); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if g.NVMSteps() != 1000 {
+		t.Fatalf("NVMSteps() = %d", g.NVMSteps())
+	}
+	var le *LimitError
+	if err := g.Steps(1); !errors.As(err, &le) || le.Budget != BudgetSteps {
+		t.Fatalf("over: %v", err)
+	}
+}
+
+func TestLimitErrorFormatting(t *testing.T) {
+	for _, tc := range []struct {
+		b    Budget
+		want string
+	}{
+		{BudgetTuples, "query exceeded tuples limit (7)"},
+		{BudgetBytes, "query exceeded materialized bytes limit (7)"},
+		{BudgetSteps, "query exceeded nvm steps limit (7)"},
+	} {
+		e := &LimitError{Budget: tc.b, Limit: 7}
+		if got := e.Error(); got != tc.want {
+			t.Errorf("Error() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// TestEventPollInterval: Event only runs the slow checks every
+// pollInterval-th call, so a cancelled context is noticed on the masked
+// boundary, not immediately.
+func TestEventPollInterval(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Limits{}, nil)
+	cancel()
+	for i := 0; i < pollInterval-1; i++ {
+		if err := g.Event(); err != nil {
+			t.Fatalf("event %d tripped early: %v", i, err)
+		}
+	}
+	if err := g.Event(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("poll boundary: %v", err)
+	}
+}
+
+func TestCheckIsImmediate(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Limits{}, nil)
+	cancel()
+	if err := g.Check(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Check after cancel: %v", err)
+	}
+}
+
+func TestStoreFaultPropagation(t *testing.T) {
+	fault := errors.New("page 3: checksum mismatch")
+	var armed bool
+	g := New(nil, Limits{}, func() error {
+		if armed {
+			return fault
+		}
+		return nil
+	})
+	if err := g.Check(); err != nil {
+		t.Fatalf("healthy store: %v", err)
+	}
+	armed = true
+	if err := g.Check(); !errors.Is(err, fault) {
+		t.Fatalf("fault not propagated: %v", err)
+	}
+	// Sticky even after the store recovers.
+	armed = false
+	if err := g.Check(); !errors.Is(err, fault) {
+		t.Fatalf("fault not sticky: %v", err)
+	}
+}
+
+func TestZeroLimitsAreUnlimited(t *testing.T) {
+	g := New(nil, Limits{}, nil)
+	if err := g.Tuples(1 << 50); err != nil {
+		t.Errorf("tuples: %v", err)
+	}
+	if err := g.Grow(1 << 50); err != nil {
+		t.Errorf("bytes: %v", err)
+	}
+	if err := g.Steps(1 << 50); err != nil {
+		t.Errorf("steps: %v", err)
+	}
+}
+
+func ExampleLimitError() {
+	g := New(nil, Limits{MaxTuples: 5}, nil)
+	err := g.Tuples(6)
+	fmt.Println(err)
+	// Output: query exceeded tuples limit (5)
+}
+
+func TestBudgetNames(t *testing.T) {
+	for _, b := range []Budget{BudgetTuples, BudgetBytes, BudgetSteps} {
+		if strings.TrimSpace(string(b)) == "" {
+			t.Errorf("empty budget name")
+		}
+	}
+}

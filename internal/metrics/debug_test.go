@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	Default.Counter("debug_probe_total", "").Inc()
+	for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/cmdline"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		if path == "/metrics" && !strings.Contains(string(b), "debug_probe_total") {
+			t.Errorf("/metrics missing registered counter:\n%s", b)
+		}
+	}
+	if !Enabled() {
+		t.Error("Serve must enable collection")
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.256.256.256:99999"); err == nil {
+		t.Error("bad address accepted")
+	}
+}

@@ -1,0 +1,266 @@
+// Package metrics is the engine-wide metrics registry of the observability
+// layer: counters, gauges and histograms with no external dependencies,
+// rendered in the Prometheus text exposition format and publishable through
+// the standard library's expvar. Collection is off by default; the single
+// Enabled() atomic-bool gate keeps disabled call sites to one load and a
+// branch, so instrumentation can stay compiled into hot paths (the Fig. 5
+// governor-overhead guard budget).
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled gates all collection helpers. Registries themselves always work
+// (tests use private registries); the gate exists so production call sites
+// on hot paths can skip even the atomic adds.
+var enabled atomic.Bool
+
+// Enable turns collection on process-wide.
+func Enable() { enabled.Store(true) }
+
+// Disable turns collection off process-wide.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether collection is on. Call sites on hot paths guard
+// their updates with it.
+func Enabled() bool { return enabled.Load() }
+
+// Counter is a monotonically increasing int64. The zero value is ready to
+// use; methods are safe for concurrent use and nil-receiver safe.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 (current buffer pins, live bytes). The zero
+// value is ready to use; methods are safe for concurrent use and
+// nil-receiver safe.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the shared exponential bucket layout: powers of four from
+// 1µs, in seconds. It spans sub-microsecond compiles to multi-minute scans
+// in 12 buckets, which is enough resolution for latency dashboards without
+// per-histogram configuration.
+var histBuckets = [numBuckets]float64{
+	1e-6, 4e-6, 16e-6, 64e-6, 256e-6,
+	1e-3, 4e-3, 16e-3, 64e-3, 256e-3,
+	1, 4,
+}
+
+const numBuckets = 12
+
+// Histogram accumulates observations into fixed exponential buckets
+// (cumulative, Prometheus-style). The zero value is ready to use; methods
+// are safe for concurrent use and nil-receiver safe.
+type Histogram struct {
+	counts [numBuckets + 1]atomic.Int64 // +1: +Inf
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one observation (seconds for latency histograms).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(histBuckets[:], v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Registry is a named collection of metrics. The zero value is unusable;
+// use NewRegistry (or the package Default).
+type Registry struct {
+	mu    sync.Mutex
+	names []string // registration order for stable rendering
+	items map[string]any
+	help  map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{items: map[string]any{}, help: map[string]string{}}
+}
+
+// Default is the process-wide registry the engine's built-in
+// instrumentation registers into.
+var Default = NewRegistry()
+
+func (r *Registry) lookup(name, help string, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if it, ok := r.items[name]; ok {
+		return it
+	}
+	it := mk()
+	r.items[name] = it
+	r.names = append(r.names, name)
+	if help != "" {
+		r.help[name] = help
+	}
+	return it
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. A name registered as a different metric kind panics: that is a
+// programming error at init time, never a data-dependent condition.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookup(name, help, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookup(name, help, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.lookup(name, help, func() any { return &Histogram{} }).(*Histogram)
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	items := make(map[string]any, len(names))
+	help := make(map[string]string, len(names))
+	for _, n := range names {
+		items[n] = r.items[n]
+		help[n] = r.help[n]
+	}
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	for _, name := range names {
+		if h := help[name]; h != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", name, h)
+		}
+		switch m := items[name].(type) {
+		case *Counter:
+			fmt.Fprintf(&sb, "# TYPE %s counter\n%s %d\n", name, name, m.Value())
+		case *Gauge:
+			fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %d\n", name, name, m.Value())
+		case *Histogram:
+			fmt.Fprintf(&sb, "# TYPE %s histogram\n", name)
+			cum := int64(0)
+			for i, le := range histBuckets {
+				cum += m.counts[i].Load()
+				fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", name, formatFloat(le), cum)
+			}
+			cum += m.counts[len(histBuckets)].Load()
+			fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			fmt.Fprintf(&sb, "%s_sum %s\n", name, formatFloat(m.Sum()))
+			fmt.Fprintf(&sb, "%s_count %d\n", name, m.Count())
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func formatFloat(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", f), "0"), ".")
+}
+
+// String renders the registry (Prometheus text format), for expvar and
+// debugging.
+func (r *Registry) String() string {
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	return sb.String()
+}
+
+// publishOnce guards the single legal expvar.Publish of the default
+// registry (expvar panics on duplicate names).
+var publishOnce sync.Once
+
+// PublishExpvar exposes the default registry under the expvar name
+// "natix_metrics" (rendered as the Prometheus text dump), alongside the
+// standard memstats/cmdline vars on /debug/vars. Safe to call more than
+// once.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("natix_metrics", expvar.Func(func() any { return Default.String() }))
+	})
+}

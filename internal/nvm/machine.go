@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"natix/internal/dom"
 	"natix/internal/guard"
@@ -95,6 +96,24 @@ type Program struct {
 	Names  []string // variable names for OpLoadVar
 	// Source is the rendered scalar expression, for explain output.
 	Source string
+	// ID is the program's index in its plan (assigned by the code
+	// generator); instrumented runs account per-program statistics under
+	// it. Hand-built programs may leave it zero — they run on machines
+	// without a Prof.
+	ID int
+}
+
+// ProgStat accounts one subscript program's executions during an
+// instrumented run (ExplainAnalyze).
+type ProgStat struct {
+	// Runs counts completed executions of the program.
+	Runs int64
+	// Steps counts instructions executed across completed runs (failed
+	// runs are not charged, matching the governor's accounting).
+	Steps int64
+	// Time is the wall time spent across all runs of the program,
+	// including nested iterators it drives through OpAgg.
+	Time time.Duration
 }
 
 // Machine executes programs. One machine exists per query execution; its
@@ -115,15 +134,35 @@ type Machine struct {
 	// each program run charges its instruction count, bounding runaway
 	// subscript work and giving scalar-heavy plans cancellation points.
 	Gov *guard.Governor
+	// Prof, when non-nil, accumulates per-program statistics indexed by
+	// Program.ID (instrumented runs only).
+	Prof []ProgStat
 
 	stack []Val
+	// lastSteps is the instruction count of the most recently completed
+	// program run, read by the profiling wrapper.
+	lastSteps int64
 }
 
 // Run executes a program and returns the value left on top of the stack.
 // Programs may re-enter the machine through nested iterators (OpAgg drives
 // subplans whose selections run their own programs), so the evaluation
 // stack is shared and each activation works above its saved base.
-func (m *Machine) Run(p *Program) (v Val, err error) {
+func (m *Machine) Run(p *Program) (Val, error) {
+	if m.Prof != nil && p.ID >= 0 && p.ID < len(m.Prof) {
+		m.lastSteps = 0
+		t0 := time.Now()
+		v, err := m.run(p)
+		st := &m.Prof[p.ID]
+		st.Runs++
+		st.Steps += m.lastSteps
+		st.Time += time.Since(t0)
+		return v, err
+	}
+	return m.run(p)
+}
+
+func (m *Machine) run(p *Program) (v Val, err error) {
 	base := len(m.stack)
 	defer func() { m.stack = m.stack[:base] }()
 	pc := 0
@@ -219,6 +258,7 @@ func (m *Machine) Run(p *Program) (v Val, err error) {
 			}
 			// Programs contain no backward jumps, so one charge at the
 			// end covers the whole (bounded) run.
+			m.lastSteps = steps
 			if err := m.Gov.Steps(steps); err != nil {
 				return Val{}, err
 			}

@@ -54,6 +54,12 @@ type Exec struct {
 	// instantiates. It exists for leak-detection harnesses that count
 	// Open/Close balance; production runs leave it nil.
 	WrapIter func(Iter) Iter
+	// Prof, when set, makes the generated plan wrap every iterator in an
+	// Instrumented shim recording per-operator tuple counts, time and
+	// bytes (ExplainAnalyze). Nil for production runs: the only cost of
+	// the instrumentation being compiled in is one nil check per iterator
+	// construction.
+	Prof *Profile
 }
 
 // Materialization cost estimates for the byte budget: a register snapshot

@@ -1,0 +1,79 @@
+package physical
+
+import (
+	"time"
+
+	"natix/internal/guard"
+	"natix/internal/nvm"
+)
+
+// OpStat is the per-operator account of one instrumented execution. Times
+// and bytes are subtree-cumulative (an operator's figure includes its
+// inputs, exactly like the call tree of a profiler); renderers subtract the
+// children's figures to show self cost.
+type OpStat struct {
+	// Opens counts Open calls (re-opens under a d-join count once each).
+	Opens int64
+	// Out counts tuples the operator produced (Next calls returning true).
+	Out int64
+	// Time is the wall time spent inside the operator's subtree across
+	// Open, Next and Close.
+	Time time.Duration
+	// Bytes is the net governor-charged materialization attributed to the
+	// subtree (positive charges minus releases observed during its calls).
+	Bytes int64
+}
+
+// Profile collects the per-operator and per-program statistics of one
+// instrumented execution (Query.ExplainAnalyze). A Profile belongs to a
+// single run and is not safe for concurrent use.
+type Profile struct {
+	// Ops is indexed by the code generator's operator slots.
+	Ops []OpStat
+	// Progs is indexed by nvm.Program.ID.
+	Progs []nvm.ProgStat
+}
+
+// Instrumented wraps an iterator with per-operator accounting. The code
+// generator inserts one per operator when an execution carries a Profile;
+// uninstrumented runs never see it, keeping the hot path free of timer
+// calls.
+type Instrumented struct {
+	It   Iter
+	Stat *OpStat
+	Gov  *guard.Governor
+}
+
+// Open implements Iter.
+func (i *Instrumented) Open() error {
+	i.Stat.Opens++
+	b0 := i.Gov.Bytes()
+	t0 := time.Now()
+	err := i.It.Open()
+	i.Stat.Time += time.Since(t0)
+	i.Stat.Bytes += i.Gov.Bytes() - b0
+	return err
+}
+
+// Next implements Iter.
+func (i *Instrumented) Next() (bool, error) {
+	b0 := i.Gov.Bytes()
+	t0 := time.Now()
+	ok, err := i.It.Next()
+	i.Stat.Time += time.Since(t0)
+	i.Stat.Bytes += i.Gov.Bytes() - b0
+	if ok {
+		i.Stat.Out++
+	}
+	return ok, err
+}
+
+// Close implements Iter.
+func (i *Instrumented) Close() error {
+	b0 := i.Gov.Bytes()
+	t0 := time.Now()
+	err := i.It.Close()
+	i.Stat.Time += time.Since(t0)
+	i.Stat.Bytes += i.Gov.Bytes() - b0
+	return err
+}

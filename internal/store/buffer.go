@@ -3,6 +3,18 @@ package store
 import (
 	"fmt"
 	"io"
+
+	"natix/internal/metrics"
+)
+
+// Process-wide buffer metrics, aggregated across all open stores. Updates
+// are gated on metrics.Enabled() so the page-access fast path stays at one
+// atomic load when observability is off.
+var (
+	mBufHits      = metrics.Default.Counter("natix_buffer_hits_total", "Page requests satisfied from the buffer pool.")
+	mBufMisses    = metrics.Default.Counter("natix_buffer_misses_total", "Page requests that faulted in from the file.")
+	mBufEvictions = metrics.Default.Counter("natix_buffer_evictions_total", "Frames reclaimed from the LRU list.")
+	mBufPins      = metrics.Default.Gauge("natix_buffer_pinned_frames", "Frames currently pinned across open stores.")
 )
 
 // BufferStats counts buffer manager events.
@@ -67,6 +79,10 @@ func newBuffer(file io.ReaderAt, pageSize, usable, capacity int, verify bool) *b
 func (b *buffer) fix(page uint32) (*frame, error) {
 	if f, ok := b.frames[page]; ok {
 		b.stats.Hits++
+		if metrics.Enabled() {
+			mBufHits.Inc()
+			mBufPins.Add(1)
+		}
 		if f.pins == 0 {
 			b.lruRemove(f)
 		}
@@ -74,6 +90,9 @@ func (b *buffer) fix(page uint32) (*frame, error) {
 		return f, nil
 	}
 	b.stats.Misses++
+	if metrics.Enabled() {
+		mBufMisses.Inc()
+	}
 	f, err := b.victim()
 	if err != nil {
 		return nil, err
@@ -93,12 +112,18 @@ func (b *buffer) fix(page uint32) (*frame, error) {
 	f.page = page
 	f.pins = 1
 	b.frames[page] = f
+	if metrics.Enabled() {
+		mBufPins.Add(1)
+	}
 	return f, nil
 }
 
 // unfix releases one pin; at zero pins the frame joins the LRU list.
 func (b *buffer) unfix(f *frame) {
 	f.pins--
+	if metrics.Enabled() {
+		mBufPins.Add(-1)
+	}
 	if f.pins == 0 {
 		b.lruPush(f)
 	}
@@ -122,6 +147,9 @@ func (b *buffer) victim() (*frame, error) {
 	b.lruRemove(f)
 	delete(b.frames, f.page)
 	b.stats.Evictions++
+	if metrics.Enabled() {
+		mBufEvictions.Inc()
+	}
 	return f, nil
 }
 

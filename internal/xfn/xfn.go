@@ -121,24 +121,49 @@ func langMatches(xmlLang, want string) bool {
 // see DESIGN.md "Known deviations". Indexes are built on first use and
 // cached per document.
 type IDIndex struct {
-	mu   sync.Mutex
-	docs map[uint64]map[string]dom.NodeID
+	mu   sync.RWMutex
+	docs map[uint64]*idIndexEntry
+}
+
+// idIndexEntry is one document's lazily built ID map. The sync.Once makes
+// the build happen exactly once per document while letting lookups on other
+// (already built) documents proceed without touching the cache lock's write
+// side; after Do returns, byID is immutable and read lock-free.
+type idIndexEntry struct {
+	once sync.Once
+	byID map[string]dom.NodeID
 }
 
 // NewIDIndex returns an empty index cache.
-func NewIDIndex() *IDIndex { return &IDIndex{docs: make(map[uint64]map[string]dom.NodeID)} }
+func NewIDIndex() *IDIndex { return &IDIndex{docs: make(map[uint64]*idIndexEntry)} }
+
+// entry returns the (possibly still unbuilt) cache slot for d. Fast path is
+// a read-locked map probe; the write lock is held only to insert the empty
+// slot, never during the build itself.
+func (ix *IDIndex) entry(d dom.Document) *idIndexEntry {
+	key := d.DocID()
+	ix.mu.RLock()
+	e, ok := ix.docs[key]
+	ix.mu.RUnlock()
+	if !ok {
+		ix.mu.Lock()
+		if e, ok = ix.docs[key]; !ok {
+			e = &idIndexEntry{}
+			ix.docs[key] = e
+		}
+		ix.mu.Unlock()
+	}
+	e.once.Do(func() { e.byID = buildIDMap(d) })
+	return e
+}
 
 // Lookup dereferences one ID string within the given document, returning
-// the element carrying id="s", if any.
+// the element carrying id="s", if any. Safe for concurrent use across
+// goroutines sharing a compiled query (documents themselves must tolerate
+// concurrent reads — in-memory documents do; store-backed documents do not
+// and need one handle per goroutine).
 func (ix *IDIndex) Lookup(d dom.Document, s string) (dom.Node, bool) {
-	ix.mu.Lock()
-	m, ok := ix.docs[d.DocID()]
-	if !ok {
-		m = buildIDMap(d)
-		ix.docs[d.DocID()] = m
-	}
-	ix.mu.Unlock()
-	id, ok := m[s]
+	id, ok := ix.entry(d).byID[s]
 	if !ok {
 		return dom.Node{}, false
 	}
@@ -199,11 +224,14 @@ func ID(ix *IDIndex, d dom.Document, value xval.Value) []dom.Node {
 // the document-ordered list of matching elements, plus the list of all
 // elements for wildcard scans.
 type NameIndex struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	docs map[uint64]*nameIndexEntry
 }
 
+// nameIndexEntry is one document's name index; built exactly once under the
+// entry's own sync.Once (see idIndexEntry), immutable afterwards.
 type nameIndexEntry struct {
+	once   sync.Once
 	byName map[nameKey][]dom.NodeID
 	all    []dom.NodeID
 }
@@ -225,22 +253,30 @@ var GlobalNames = NewNameIndex()
 // Elements returns the document-ordered elements with the given expanded
 // name; local "*" matches any local name within uri, and uri "*" any name
 // at all.
+// Safe for concurrent use across goroutines sharing a compiled query (the
+// same caveat as IDIndex.Lookup applies to store-backed documents).
 func (ix *NameIndex) Elements(d dom.Document, uri, local string) []dom.NodeID {
-	ix.mu.Lock()
-	e, ok := ix.docs[d.DocID()]
+	key := d.DocID()
+	ix.mu.RLock()
+	e, ok := ix.docs[key]
+	ix.mu.RUnlock()
 	if !ok {
-		e = buildNameIndex(d)
-		ix.docs[d.DocID()] = e
+		ix.mu.Lock()
+		if e, ok = ix.docs[key]; !ok {
+			e = &nameIndexEntry{}
+			ix.docs[key] = e
+		}
+		ix.mu.Unlock()
 	}
-	ix.mu.Unlock()
+	e.once.Do(func() { e.build(d) })
 	if uri == "*" {
 		return e.all
 	}
 	return e.byName[nameKey{uri: uri, local: local}]
 }
 
-func buildNameIndex(d dom.Document) *nameIndexEntry {
-	e := &nameIndexEntry{byName: map[nameKey][]dom.NodeID{}}
+func (e *nameIndexEntry) build(d dom.Document) {
+	e.byName = map[nameKey][]dom.NodeID{}
 	n := dom.NodeID(d.NodeCount())
 	for id := dom.NodeID(1); id <= n; id++ {
 		if d.Kind(id) != dom.KindElement {
@@ -252,5 +288,4 @@ func buildNameIndex(d dom.Document) *nameIndexEntry {
 		wild := nameKey{uri: d.NamespaceURI(id), local: "*"}
 		e.byName[wild] = append(e.byName[wild], id)
 	}
-	return e
 }

@@ -24,17 +24,36 @@ import (
 	"fmt"
 	"io"
 	"runtime/debug"
+	"time"
 
 	"natix/internal/algebra"
 	"natix/internal/codegen"
 	"natix/internal/dom"
 	"natix/internal/guard"
+	"natix/internal/metrics"
 	"natix/internal/physical"
 	"natix/internal/sem"
 	"natix/internal/translate"
 	"natix/internal/xfn"
 	"natix/internal/xpath"
 	"natix/internal/xval"
+)
+
+// Engine-level metrics, registered on the process-wide default registry.
+// Collection is gated by metrics.Enabled(), so ordinary runs pay one atomic
+// load per compile/run and nothing per tuple.
+var (
+	mCompiles       = metrics.Default.Counter("natix_compiles_total", "queries compiled")
+	mCompileErrors  = metrics.Default.Counter("natix_compile_errors_total", "compilations rejected")
+	mCompileSeconds = metrics.Default.Histogram("natix_compile_seconds", "compilation latency")
+	mRuns           = metrics.Default.Counter("natix_runs_total", "query executions")
+	mRunErrors      = metrics.Default.Counter("natix_run_errors_total", "query executions that failed")
+	mRunSeconds     = metrics.Default.Histogram("natix_run_seconds", "execution latency")
+	mTuples         = metrics.Default.Counter("natix_tuples_total", "tuples produced by scans and unnest-maps")
+	mAxisSteps      = metrics.Default.Counter("natix_axis_steps_total", "nodes enumerated by axis traversals")
+	mDupDropped     = metrics.Default.Counter("natix_dup_dropped_total", "tuples removed by duplicate eliminations")
+	mMemoHits       = metrics.Default.Counter("natix_memo_hits_total", "MemoX evaluations answered from cache")
+	mMemoMisses     = metrics.Default.Counter("natix_memo_misses_total", "MemoX evaluations computed")
 )
 
 // Node is a handle to a document node.
@@ -173,6 +192,20 @@ func Compile(expr string) (*Query, error) {
 // CompileWith compiles an XPath 1.0 expression through the full pipeline of
 // paper section 5.1.
 func CompileWith(expr string, opt Options) (*Query, error) {
+	if !metrics.Enabled() {
+		return compileWith(expr, opt)
+	}
+	start := time.Now()
+	q, err := compileWith(expr, opt)
+	mCompiles.Inc()
+	mCompileSeconds.ObserveDuration(time.Since(start))
+	if err != nil {
+		mCompileErrors.Inc()
+	}
+	return q, err
+}
+
+func compileWith(expr string, opt Options) (*Query, error) {
 	ast, err := xpath.Parse(expr)
 	if err != nil {
 		return nil, err
@@ -205,6 +238,16 @@ func MustCompile(expr string) *Query {
 	return q
 }
 
+// MustCompileWith compiles with explicit options or panics; for static
+// query tables.
+func MustCompileWith(expr string, opt Options) *Query {
+	q, err := CompileWith(expr, opt)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
 // String returns the source expression.
 func (q *Query) String() string { return q.source }
 
@@ -218,14 +261,27 @@ type Result struct {
 	Stats Stats
 }
 
-// SortedNodes returns the result node-set in document order. It panics for
-// non-node-set results.
-func (r *Result) SortedNodes() []Node {
+// SortedNodeSet returns the result node-set in document order. For
+// non-node-set results (booleans, numbers, strings) it returns (nil, false)
+// instead of panicking, so callers can branch without testing
+// Value.IsNodeSet first. An empty node-set result returns (nil, true).
+func (r *Result) SortedNodeSet() ([]Node, bool) {
 	if !r.Value.IsNodeSet() {
-		panic("natix: SortedNodes on a " + r.Value.Kind.String() + " result")
+		return nil, false
 	}
 	nodes := append([]Node(nil), r.Value.Nodes...)
 	sortNodes(nodes)
+	return nodes, true
+}
+
+// SortedNodes returns the result node-set in document order, or nil for
+// non-node-set results.
+//
+// Deprecated: earlier releases panicked on non-node-set results — the
+// library's last public-API panic. Use SortedNodeSet, which distinguishes
+// "empty node-set" from "not a node-set".
+func (r *Result) SortedNodes() []Node {
+	nodes, _ := r.SortedNodeSet()
 	return nodes
 }
 
@@ -245,6 +301,24 @@ func (q *Query) Run(ctx Node, vars map[string]Value) (*Result, error) {
 // The execution boundary is panic-safe: an engine panic is recovered and
 // returned as a *InternalError rather than crashing the process.
 func (q *Query) RunContext(stdctx context.Context, node Node, vars map[string]Value) (res *Result, err error) {
+	var start time.Time
+	if metrics.Enabled() {
+		start = time.Now()
+		defer func() {
+			mRuns.Inc()
+			mRunSeconds.ObserveDuration(time.Since(start))
+			if err != nil {
+				mRunErrors.Inc()
+			} else {
+				st := res.Stats
+				mTuples.Add(st.Tuples)
+				mAxisSteps.Add(st.AxisSteps)
+				mDupDropped.Add(st.DupDropped)
+				mMemoHits.Add(st.MemoHits)
+				mMemoMisses.Add(st.MemoMisses)
+			}
+		}()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
@@ -256,6 +330,40 @@ func (q *Query) RunContext(stdctx context.Context, node Node, vars map[string]Va
 		return nil, fmt.Errorf("run %q: %w", q.source, perr)
 	}
 	return &Result{Value: pres.Value, Stats: pres.Stats}, nil
+}
+
+// Analysis is the outcome of one instrumented execution (ExplainAnalyze):
+// the ordinary result plus the annotated plan.
+type Analysis struct {
+	// Result is the run's result, identical in contract to RunContext's.
+	Result *Result
+	// Tree is the rendered operator tree annotated with per-operator
+	// tuple counts, open counts, cumulative/self wall time and net
+	// materialized bytes, and per-subscript-program run counts, executed
+	// NVM instructions and time.
+	Tree string
+}
+
+// ExplainAnalyze runs the query under full per-operator instrumentation and
+// returns the result together with the annotated plan tree — the profiled
+// counterpart of ExplainPhysical. The run obeys the same cancellation,
+// limit and panic-safety contract as RunContext; expect a few percent of
+// timer overhead, which ordinary runs never pay.
+func (q *Query) ExplainAnalyze(stdctx context.Context, node Node, vars map[string]Value) (a *Analysis, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			a = nil
+			err = &InternalError{Expr: q.source, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	pres, tree, perr := q.plan.ExplainAnalyze(stdctx, q.limits, node, vars)
+	if perr != nil {
+		return nil, fmt.Errorf("analyze %q: %w", q.source, perr)
+	}
+	return &Analysis{
+		Result: &Result{Value: pres.Value, Stats: pres.Stats},
+		Tree:   tree,
+	}, nil
 }
 
 // ExplainAlgebra renders the translated logical algebra expression.

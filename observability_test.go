@@ -1,0 +1,111 @@
+package natix
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"natix/internal/metrics"
+)
+
+func TestExplainAnalyzeAPI(t *testing.T) {
+	d, err := ParseDocumentString(`<r><a k="1">x</a><a k="2">y</a><b/></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustCompile("/r/a[@k > 1]")
+	a, err := q.ExplainAnalyze(context.Background(), RootNode(d), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes, ok := a.Result.SortedNodeSet(); !ok || len(nodes) != 1 {
+		t.Fatalf("result %v", a.Result.Value)
+	}
+	for _, want := range []string{"totals:", "out=", "time=", "prog["} {
+		if !strings.Contains(a.Tree, want) {
+			t.Errorf("tree missing %q:\n%s", want, a.Tree)
+		}
+	}
+	// The annotated totals line must agree with the run's own stats.
+	if !strings.Contains(a.Tree, "tuples=") {
+		t.Errorf("tree missing tuple totals:\n%s", a.Tree)
+	}
+	// A plain run afterwards must be unaffected by the instrumented one.
+	res, err := q.Run(RootNode(d), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Value.Nodes) != 1 {
+		t.Errorf("plain run after analyze: %v", res.Value)
+	}
+}
+
+func TestExplainAnalyzeError(t *testing.T) {
+	q := MustCompile("/r/a")
+	if _, err := q.ExplainAnalyze(context.Background(), Node{}, nil); err == nil {
+		t.Error("nil context accepted")
+	}
+}
+
+// TestMetricsFunnel: with collection enabled, compiles and runs feed the
+// process-wide registry.
+func TestMetricsFunnel(t *testing.T) {
+	metrics.Enable()
+	defer metrics.Disable()
+
+	compiles := metrics.Default.Counter("natix_compiles_total", "")
+	runs := metrics.Default.Counter("natix_runs_total", "")
+	tuples := metrics.Default.Counter("natix_tuples_total", "")
+	runErrs := metrics.Default.Counter("natix_run_errors_total", "")
+	c0, r0, t0, e0 := compiles.Value(), runs.Value(), tuples.Value(), runErrs.Value()
+
+	d, err := ParseDocumentString(`<r><a/><a/><a/></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Compile("count(/r/a)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run(RootNode(d), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value.N != 3 {
+		t.Fatalf("result %v", res.Value)
+	}
+	if compiles.Value() != c0+1 {
+		t.Errorf("compiles %d -> %d", c0, compiles.Value())
+	}
+	if runs.Value() != r0+1 {
+		t.Errorf("runs %d -> %d", r0, runs.Value())
+	}
+	if got := tuples.Value() - t0; got != res.Stats.Tuples {
+		t.Errorf("tuple funnel: registry +%d, stats %d", got, res.Stats.Tuples)
+	}
+
+	// A failing run lands in the error counter.
+	qe := MustCompileWith("//a", Options{Limits: Limits{MaxTuples: 1}})
+	if _, err := qe.Run(RootNode(d), nil); err == nil {
+		t.Fatal("limit not enforced")
+	}
+	if runErrs.Value() != e0+1 {
+		t.Errorf("run errors %d -> %d", e0, runErrs.Value())
+	}
+}
+
+// TestMetricsDisabledNoFunnel: with collection off (the default), the
+// registry stays untouched by engine activity.
+func TestMetricsDisabledNoFunnel(t *testing.T) {
+	metrics.Disable()
+	runs := metrics.Default.Counter("natix_runs_total", "")
+	r0 := runs.Value()
+	d, _ := ParseDocumentString(`<r><a/></r>`)
+	q := MustCompile("/r/a")
+	if _, err := q.Run(RootNode(d), nil); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Value() != r0 {
+		t.Errorf("disabled metrics still counted: %d -> %d", r0, runs.Value())
+	}
+}

@@ -1,0 +1,104 @@
+package natix
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// raceDoc has both id attributes (exercising the query-cached IDIndex) and
+// enough element names for IndexScan plans (the GlobalNames cache).
+func raceDoc(t *testing.T) Node {
+	t.Helper()
+	var sb []byte
+	sb = append(sb, "<site><people>"...)
+	for i := 0; i < 50; i++ {
+		sb = append(sb, fmt.Sprintf(`<person id="p%d"><age>%d</age></person>`, i, 10+i)...)
+	}
+	sb = append(sb, "</people></site>"...)
+	d, err := ParseDocumentString(string(sb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RootNode(d)
+}
+
+// TestConcurrentQuerySharing runs the same compiled queries from 8
+// goroutines against one document. The lazily built per-query ID index and
+// the process-wide name index are both cold at the start, so every
+// goroutine races to build them; run under -race this pins down the
+// sync.Once-per-document construction of both caches.
+func TestConcurrentQuerySharing(t *testing.T) {
+	root := raceDoc(t)
+	queries := []*Query{
+		MustCompileWith("//person[age > 30]", Options{Mode: Improved, EnableNameIndex: true}),
+		MustCompileWith("count(//age)", Options{Mode: Improved, EnableNameIndex: true}),
+		MustCompileWith("id('p7 p13')/age", Options{Mode: Improved}),
+	}
+	const goroutines = 8
+	const rounds = 16
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*len(queries))
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, q := range queries {
+					res, err := q.Run(root, nil)
+					if err != nil {
+						errs <- err
+						return
+					}
+					_ = res.Value.String()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Sanity: results are still correct after the concurrent phase.
+	res, err := queries[2].Run(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes, ok := res.SortedNodeSet(); !ok || len(nodes) != 2 {
+		t.Errorf("id lookup after concurrent runs: %v, %v", nodes, ok)
+	}
+}
+
+// TestConcurrentDistinctDocuments drives the shared GlobalNames cache with
+// several distinct documents at once: entry insertion (write-locked) and
+// builds (per-entry once) overlap across goroutines.
+func TestConcurrentDistinctDocuments(t *testing.T) {
+	q := MustCompileWith("count(//person)", Options{Mode: Improved, EnableNameIndex: true})
+	const goroutines = 8
+	docs := make([]Node, goroutines)
+	for i := range docs {
+		d, err := ParseDocumentString(fmt.Sprintf(`<r><person n="%d"/><person/></r>`, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[i] = RootNode(d)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(root Node) {
+			defer wg.Done()
+			for r := 0; r < 16; r++ {
+				res, err := q.Run(root, nil)
+				if err != nil || res.Value.N != 2 {
+					t.Errorf("run: %v %v", res, err)
+					return
+				}
+			}
+		}(docs[g])
+	}
+	wg.Wait()
+}

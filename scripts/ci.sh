@@ -1,10 +1,32 @@
 #!/bin/sh
-# CI gate: vet, build, and the full test suite under the race detector.
+# CI gate: vet, static analysis, build, the full test suite under the race
+# detector, and the cross-mode differential harness on its small fixed
+# corpus. staticcheck and govulncheck run when installed and are skipped
+# (with a notice) otherwise, so the gate works on minimal toolchains.
 # Run from the repository root:  ./scripts/ci.sh
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go vet ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "ci: staticcheck not installed, skipping" >&2
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+    govulncheck ./...
+else
+    echo "ci: govulncheck not installed, skipping" >&2
+fi
+
 go build ./...
 go test -race ./...
+
+# Differential harness: every corpus query under every translation
+# configuration x document backend, against the reference interpreter.
+# -short selects the small fixed corpus prefix; the full matrix runs in the
+# regular (non-short) go test above as well.
+go test -short -run TestMatrix ./internal/difftest/
