@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"natix/internal/catalog"
+	"natix/internal/dom"
+	"natix/internal/store"
+)
+
+func TestParseDocSpecs(t *testing.T) {
+	specs, err := parseDocSpecs([]string{"books=cat.xml", "dblp=dblp.natix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].Name != "books" || specs[0].Store || !specs[1].Store {
+		t.Fatalf("specs = %+v", specs)
+	}
+	for _, bad := range [][]string{
+		{},
+		{"noequals"},
+		{"=path"},
+		{"name="},
+		{"a=x.xml", "a=y.xml"},
+	} {
+		if _, err := parseDocSpecs(bad); err == nil {
+			t.Errorf("parseDocSpecs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestOpenAll(t *testing.T) {
+	dir := t.TempDir()
+	xmlPath := filepath.Join(dir, "doc.xml")
+	if err := os.WriteFile(xmlPath, []byte("<r><x/></r>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mem, err := dom.ParseString("<r><y/></r>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	natixPath := filepath.Join(dir, "doc.natix")
+	if err := store.Write(natixPath, mem); err != nil {
+		t.Fatal(err)
+	}
+
+	cat := catalog.New()
+	defer cat.CloseAll()
+	specs, err := parseDocSpecs([]string{"m=" + xmlPath, "s=" + natixPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := openAll(cat, specs, 16); err != nil {
+		t.Fatal(err)
+	}
+	infos := cat.List()
+	if len(infos) != 2 || infos[0].Backend != catalog.Mem || infos[1].Backend != catalog.Store {
+		t.Fatalf("catalog = %+v", infos)
+	}
+
+	// A missing file fails up front, not at first query.
+	bad, _ := parseDocSpecs([]string{"x=" + filepath.Join(dir, "missing.xml")})
+	if err := openAll(catalog.New(), bad, 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

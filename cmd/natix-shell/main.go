@@ -26,6 +26,7 @@ import (
 	"natix"
 	"natix/internal/dom"
 	"natix/internal/metrics"
+	"natix/internal/plancache"
 	"natix/internal/store"
 	"natix/internal/xval"
 )
@@ -34,6 +35,7 @@ func main() {
 	useStore := flag.Bool("store", false, "treat the document as a natix store file")
 	timeout := flag.Duration("timeout", 0, "abort each evaluation after this duration (0 = none)")
 	maxMem := flag.Int64("max-mem", 0, "abort evaluations materializing more than this many bytes (0 = unlimited)")
+	enableMetrics := flag.Bool("metrics", false, "collect engine metrics from startup (same as \\metrics on)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address for the session")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: natix-shell [flags] <document>\n")
@@ -43,6 +45,11 @@ func main() {
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	// -metrics and -debug-addr compose: both enable collection, and the
+	// expvar/debug registration behind metrics.Serve is once-guarded.
+	if *enableMetrics {
+		metrics.Enable()
 	}
 	if *debugAddr != "" {
 		addr, err := metrics.Serve(*debugAddr)
@@ -107,16 +114,28 @@ type shell struct {
 	ns      map[string]string
 	timeout time.Duration
 	maxMem  int64
+	plans   *plancache.Cache
 }
 
 func newShell(doc dom.Document, out io.Writer) *shell {
 	return &shell{
-		doc:  doc,
-		out:  out,
-		ctx:  natix.RootNode(doc),
-		vars: map[string]xval.Value{},
-		ns:   map[string]string{},
+		doc:   doc,
+		out:   out,
+		ctx:   natix.RootNode(doc),
+		vars:  map[string]xval.Value{},
+		ns:    map[string]string{},
+		plans: plancache.New(64, 0),
 	}
+}
+
+// compile returns the prepared plan for expr under the current session
+// options, reusing a previous compilation when nothing relevant changed:
+// evaluating, \explain-ing and \analyze-ing the same expression share one
+// plan. Mode, namespace and limit changes alter the cache key, so they
+// naturally recompile.
+func (s *shell) compile(expr string) (*natix.Prepared, error) {
+	p, _, err := s.plans.GetOrCompile(expr, s.options(), "shell", 1)
+	return p, err
 }
 
 // exec processes one input line; it returns true to quit.
@@ -175,7 +194,7 @@ func (s *shell) command(line string) {
 	arg = strings.TrimSpace(arg)
 	switch cmd {
 	case "explain", "physical":
-		q, err := natix.CompileWith(arg, s.options())
+		q, err := s.compile(arg)
 		if err != nil {
 			fmt.Fprintln(s.out, "error:", err)
 			return
@@ -221,7 +240,7 @@ func (s *shell) command(line string) {
 		s.ns[prefix] = uri
 		fmt.Fprintf(s.out, "xmlns:%s = %s\n", prefix, uri)
 	case "analyze":
-		q, err := natix.CompileWith(arg, s.options())
+		q, err := s.compile(arg)
 		if err != nil {
 			fmt.Fprintln(s.out, "error:", err)
 			return
@@ -244,7 +263,7 @@ func (s *shell) command(line string) {
 			fmt.Fprint(s.out, metrics.Default.String())
 		}
 	case "context":
-		q, err := natix.CompileWith(arg, s.options())
+		q, err := s.compile(arg)
 		if err != nil {
 			fmt.Fprintln(s.out, "error:", err)
 			return
@@ -277,7 +296,7 @@ func (s *shell) command(line string) {
 }
 
 func (s *shell) eval(expr string) {
-	q, err := natix.CompileWith(expr, s.options())
+	q, err := s.compile(expr)
 	if err != nil {
 		fmt.Fprintln(s.out, "error:", err)
 		return

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"natix/internal/dom"
+	"natix/internal/metrics"
 	"natix/internal/store"
 )
 
@@ -164,7 +165,7 @@ func TestLoadDoc(t *testing.T) {
 }
 
 // TestShellContextScalar: \context with a non-node-set result used to panic
-// via Result.SortedNodes; it must now report an error and keep the context.
+// via the old nil-on-scalar shim; it must now report an error and keep the context.
 func TestShellContextScalar(t *testing.T) {
 	sh, out := testShell(t)
 	before := sh.ctx
@@ -195,6 +196,50 @@ func TestShellAnalyze(t *testing.T) {
 	sh.exec("\\analyze ][")
 	if !strings.Contains(out.String(), "error:") {
 		t.Errorf("\\analyze bad query: %s", out.String())
+	}
+}
+
+// TestShellPlanReuse: evaluating, \explain-ing and \analyze-ing the same
+// expression must reuse one compiled plan, and session-option changes must
+// recompile rather than serve a stale plan.
+func TestShellPlanReuse(t *testing.T) {
+	sh, out := testShell(t)
+	sh.exec("\\analyze //item[@p > 1]")
+	sh.exec("\\analyze //item[@p > 1]")
+	sh.exec("\\explain //item[@p > 1]")
+	sh.exec("//item[@p > 1]")
+	st := sh.plans.Stats()
+	if st.Misses != 1 || st.Hits != 3 {
+		t.Fatalf("plan cache stats after repeats: %+v", st)
+	}
+	// A mode switch changes the options key: same text, fresh compile.
+	sh.exec("\\mode canonical")
+	sh.exec("//item[@p > 1]")
+	if st := sh.plans.Stats(); st.Misses != 2 {
+		t.Fatalf("mode switch did not recompile: %+v", st)
+	}
+	// Parse errors are not cached.
+	out.Reset()
+	sh.exec("\\analyze ][")
+	sh.exec("\\analyze ][")
+	if st := sh.plans.Stats(); st.Hits != 3 {
+		t.Fatalf("error result was cached: %+v", st)
+	}
+}
+
+// TestMetricsWithDebugHandler pins that enabling metrics and mounting the
+// debug handler compose: building the handler twice (as -metrics plus
+// -debug-addr would) must not re-register expvars and panic.
+func TestMetricsWithDebugHandler(t *testing.T) {
+	metrics.Enable()
+	defer metrics.Disable()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("duplicate metrics registration panicked: %v", r)
+		}
+	}()
+	if metrics.Handler() == nil || metrics.Handler() == nil {
+		t.Fatal("nil debug handler")
 	}
 }
 

@@ -98,18 +98,12 @@ func TestResultHelpers(t *testing.T) {
 	if !ok || len(nodes) != 2 || nodes[0].LocalName() != "b" || nodes[1].LocalName() != "a" {
 		t.Errorf("SortedNodeSet: %v, %v", nodes, ok)
 	}
-	if legacy := res.SortedNodes(); len(legacy) != 2 {
-		t.Errorf("SortedNodes: %v", legacy)
-	}
 	scalar, err := MustCompile("1 + 1").Run(RootNode(d), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if nodes, ok := scalar.SortedNodeSet(); ok || nodes != nil {
 		t.Errorf("SortedNodeSet on scalar: %v, %v", nodes, ok)
-	}
-	if nodes := scalar.SortedNodes(); nodes != nil {
-		t.Errorf("SortedNodes on scalar should return nil, got %v", nodes)
 	}
 }
 
@@ -125,7 +119,8 @@ func ExampleCompile() {
 	doc, _ := ParseDocumentString(`<lib><book>A</book><book>B</book></lib>`)
 	q := MustCompile("/lib/book[last()]")
 	res, _ := q.Run(RootNode(doc), nil)
-	for _, n := range res.SortedNodes() {
+	nodes, _ := res.SortedNodeSet()
+	for _, n := range nodes {
 		fmt.Println(n.StringValue())
 	}
 	// Output: B
@@ -207,7 +202,7 @@ func TestCrossDocumentVariables(t *testing.T) {
 	if len(res.Value.Nodes) != 3 {
 		t.Fatalf("cross-doc union size %d", len(res.Value.Nodes))
 	}
-	sorted := res.SortedNodes()
+	sorted, _ := res.SortedNodeSet()
 	for i := 1; i < len(sorted); i++ {
 		if dom.CompareOrder(sorted[i-1], sorted[i]) >= 0 {
 			t.Fatal("cross-document order not antisymmetric")

@@ -12,7 +12,8 @@ func ExampleQuery_Run() {
 	doc, _ := natix.ParseDocumentString(`<menu><dish>soup</dish><dish>stew</dish><dish>pie</dish></menu>`)
 	q := natix.MustCompile("/menu/dish[position() > 1]")
 	res, _ := q.Run(natix.RootNode(doc), nil)
-	for _, n := range res.SortedNodes() {
+	nodes, _ := res.SortedNodeSet()
+	for _, n := range nodes {
 		fmt.Println(n.StringValue())
 	}
 	// Output:

@@ -79,5 +79,6 @@ func main() {
 	res, _ := q.Run(root, nil)
 	fmt.Printf("\nposition()=3 stats: axis steps %d, tuples %d (document nodes: %d)\n",
 		res.Stats.AxisSteps, res.Stats.Tuples, doc.NodeCount())
-	fmt.Printf("title: %s\n", res.SortedNodes()[0].StringValue())
+	titles, _ := res.SortedNodeSet()
+	fmt.Printf("title: %s\n", titles[0].StringValue())
 }

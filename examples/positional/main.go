@@ -36,7 +36,8 @@ func main() {
 			log.Fatal(err)
 		}
 		var vals []string
-		for _, n := range res.SortedNodes() {
+		nodes, _ := res.SortedNodeSet()
+		for _, n := range nodes {
 			vals = append(vals, n.StringValue())
 		}
 		fmt.Printf("%-42s -> %v\n", expr, vals)

@@ -33,7 +33,8 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("cheap English books:")
-	for _, n := range res.SortedNodes() {
+	nodes, _ := res.SortedNodeSet()
+	for _, n := range nodes {
 		fmt.Printf("  %s\n", n.StringValue())
 	}
 

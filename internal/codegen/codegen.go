@@ -194,6 +194,47 @@ func (p *Plan) run(stdctx context.Context, limits guard.Limits, ctx dom.Node, va
 // result sequence.
 const resultNodeBytes = 24
 
+// Size-estimate unit costs. Like the materialization estimates of the
+// physical package, these are deliberately coarse: the plan cache's byte
+// budget bounds runaway growth, it does not meter the allocator.
+const (
+	planBaseBytes  = 512 // Plan struct, registers map, slices
+	regBytes       = 24  // one register name/index pair
+	instrBytes     = 32  // one NVM instruction
+	constBytes     = 64  // one program constant (may carry a string)
+	progBaseBytes  = 96  // Program struct + source string
+	opBytes        = 192 // one compiled operator: builder closure + opSlot entry
+	subplanBytes   = 64  // one subplan builder slot
+	memoSlotBytes  = 48  // one memo-cache slot
+	indexBaseBytes = 256 // empty per-plan IDIndex
+)
+
+// SizeEstimate returns a coarse estimate of the compiled plan's resident
+// bytes: the register file layout, every compiled subscript program, the
+// operator builders and the memo/subplan slots. The plan cache charges this
+// against its byte budget; per-document index caches built lazily at run
+// time are not included (they are bounded by document size, not plan count).
+func (p *Plan) SizeEstimate() int64 {
+	progBytes := func(pr *nvm.Program) int64 {
+		return progBaseBytes + int64(len(pr.Code))*instrBytes +
+			int64(len(pr.Consts))*constBytes + int64(len(pr.Names))*regBytes
+	}
+	n := int64(planBaseBytes) + indexBaseBytes
+	n += int64(p.numRegs) * regBytes
+	for _, progs := range p.progs {
+		for _, pr := range progs {
+			n += progBytes(pr)
+		}
+	}
+	if p.scalarProg != nil {
+		n += progBytes(p.scalarProg)
+	}
+	n += int64(p.numOps) * opBytes
+	n += int64(len(p.subplans)) * subplanBytes
+	n += int64(p.numMemos) * memoSlotBytes
+	return n
+}
+
 // Explain renders the logical plan the physical plan was generated from.
 func (p *Plan) Explain() string {
 	if p.source.IsSequence() {

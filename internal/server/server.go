@@ -1,0 +1,532 @@
+// Package server is the HTTP/JSON query service over the engine: a bounded
+// worker pool executes compiled plans from the plan cache against documents
+// acquired from the catalog, with per-request deadlines and resource limits
+// mapped onto the engine's RunContext governor.
+//
+// Endpoints:
+//
+//	POST /query       evaluate an XPath expression against a named document
+//	GET  /documents   list the document catalog
+//	POST /reload      reload a named document (new generation, invalidates plans)
+//	GET  /healthz     liveness probe
+//	GET  /metrics     Prometheus text dump of the default registry
+//
+// Admission control is explicit: at most Workers queries execute at once
+// and at most QueueDepth more wait; beyond that /query answers a structured
+// 429 immediately instead of degrading everyone. Shutdown drains in-flight
+// and queued queries before returning; requests arriving during the drain
+// get a structured 503.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"natix"
+	"natix/internal/catalog"
+	"natix/internal/dom"
+	"natix/internal/metrics"
+	"natix/internal/plancache"
+	"natix/internal/xval"
+)
+
+// Service metrics, on the process-wide default registry.
+var (
+	mRequests  = metrics.Default.Counter("natix_serve_requests_total", "Query requests accepted for execution.")
+	mRejected  = metrics.Default.Counter("natix_serve_rejected_total", "Query requests rejected by admission control (429/503).")
+	mErrors    = metrics.Default.Counter("natix_serve_errors_total", "Query requests that failed during execution.")
+	mQueueWait = metrics.Default.Histogram("natix_serve_queue_seconds", "Time requests spent queued before a worker picked them up.")
+	mServeTime = metrics.Default.Histogram("natix_serve_request_seconds", "End-to-end /query latency (queue + compile/lookup + run).")
+	mInFlight  = metrics.Default.Gauge("natix_serve_inflight", "Queries currently queued or executing.")
+)
+
+// Config configures a Server. Zero fields take the documented defaults.
+type Config struct {
+	// Catalog is the document collection to serve (required).
+	Catalog *catalog.Catalog
+	// Cache is the compiled-plan cache; nil compiles every request.
+	Cache *plancache.Cache
+	// Workers bounds concurrently executing queries (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds queries waiting for a worker (default 4x Workers).
+	// Requests beyond Workers+QueueDepth get a structured 429.
+	QueueDepth int
+	// DefaultTimeout applies when a request names none (default 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps request-supplied timeouts (default 60s).
+	MaxTimeout time.Duration
+	// Limits bounds every execution (compiled into cached plans).
+	Limits natix.Limits
+	// MaxResultNodes truncates the serialized node list of huge results;
+	// the count field still reports the full cardinality (default 10000).
+	MaxResultNodes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxResultNodes <= 0 {
+		c.MaxResultNodes = 10000
+	}
+	return c
+}
+
+// Server executes queries through a bounded worker pool. Use New, then
+// mount Handler on an http.Server; call Shutdown to drain.
+type Server struct {
+	cfg   Config
+	jobs  chan *job
+	quit  chan struct{}
+	wg    sync.WaitGroup // worker goroutines
+	jobWG sync.WaitGroup // accepted, not-yet-finished jobs
+
+	draining atomic.Bool
+	start    time.Time
+}
+
+// job is one admitted query request.
+type job struct {
+	req      *QueryRequest
+	ctx      context.Context
+	enqueued time.Time
+	done     chan struct{}
+	resp     *QueryResponse
+	err      *apiError
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Catalog == nil {
+		panic("server: Config.Catalog is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		jobs:  make(chan *job, cfg.QueueDepth),
+		quit:  make(chan struct{}),
+		start: time.Now(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Shutdown drains the service: new queries get 503, queued and in-flight
+// queries finish (bounded by their own deadlines), workers exit. The
+// context bounds the wait; its expiry abandons the drain and returns the
+// context's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	drained := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(s.quit)
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.jobs:
+			s.execute(j)
+		case <-s.quit:
+			// Drain anything that slipped in between jobWG.Wait observing
+			// zero and quit closing (cannot happen today — quit closes only
+			// after the job WaitGroup drains — but cheap insurance).
+			for {
+				select {
+				case j := <-s.jobs:
+					s.execute(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// QueryRequest is the body of POST /query.
+type QueryRequest struct {
+	// Query is the XPath 1.0 expression (required).
+	Query string `json:"query"`
+	// Document names the catalog document to evaluate against (required).
+	Document string `json:"document"`
+	// Mode is "improved" (default) or "canonical".
+	Mode string `json:"mode,omitempty"`
+	// Namespaces maps prefixes used in the expression to URIs.
+	Namespaces map[string]string `json:"namespaces,omitempty"`
+	// TimeoutMS overrides the service default deadline, capped by the
+	// service maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// QueryNode is one serialized result node.
+type QueryNode struct {
+	Kind  string `json:"kind"`
+	Name  string `json:"name,omitempty"`
+	Value string `json:"value"`
+}
+
+// QueryResult is the typed result payload: exactly one of Nodes / Boolean /
+// Number / String is meaningful, per Kind.
+type QueryResult struct {
+	Kind    string      `json:"kind"`
+	Count   int         `json:"count,omitempty"`
+	Nodes   []QueryNode `json:"nodes,omitempty"`
+	Boolean *bool       `json:"boolean,omitempty"`
+	Number  *float64    `json:"number,omitempty"`
+	String  *string     `json:"string,omitempty"`
+	// Truncated is set when Nodes was cut at the service's MaxResultNodes;
+	// Count still reports the full cardinality.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// QueryStats echoes the engine counters of the run.
+type QueryStats struct {
+	AxisSteps  int64 `json:"axis_steps"`
+	Tuples     int64 `json:"tuples"`
+	DupDropped int64 `json:"dup_dropped"`
+	MemoHits   int64 `json:"memo_hits"`
+	MemoMisses int64 `json:"memo_misses"`
+}
+
+// QueryResponse is the body of a successful POST /query.
+type QueryResponse struct {
+	Document   string `json:"document"`
+	Generation uint64 `json:"generation"`
+	// Cached reports whether the plan came from the plan cache (no
+	// parse/translate/codegen on this request).
+	Cached    bool        `json:"cached"`
+	ElapsedUS int64       `json:"elapsed_us"`
+	Result    QueryResult `json:"result"`
+	Stats     QueryStats  `json:"stats"`
+}
+
+// Error codes of the structured error envelope.
+const (
+	CodeBadRequest   = "bad_request" // malformed JSON, missing fields
+	CodeParseError   = "parse_error" // the expression did not compile
+	CodeUnknownDoc   = "unknown_document"
+	CodeTimeout      = "timeout"        // deadline exceeded or client gone
+	CodeLimit        = "limit_exceeded" // a resource budget tripped
+	CodeOverloaded   = "overloaded"     // admission queue full
+	CodeShuttingDown = "shutting_down"  // drain in progress
+	CodeStoreFault   = "store_fault"    // document I/O or corruption
+	CodeInternal     = "internal"       // engine defect (InternalError)
+)
+
+// apiError is the structured error envelope every failure path returns.
+type apiError struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func errf(status int, code, format string, args ...any) *apiError {
+	return &apiError{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// classify maps an execution error onto the structured envelope,
+// distinguishing limit trips, timeouts, parse errors and store faults.
+func classify(err error) *apiError {
+	var le *natix.LimitError
+	if errors.As(err, &le) {
+		return errf(http.StatusUnprocessableEntity, CodeLimit, "%v", le)
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return errf(http.StatusGatewayTimeout, CodeTimeout, "query evaluation timed out")
+	}
+	var ie *natix.InternalError
+	if errors.As(err, &ie) {
+		return errf(http.StatusInternalServerError, CodeInternal, "engine error: %v", ie.Value)
+	}
+	return errf(http.StatusInternalServerError, CodeStoreFault, "%v", err)
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/documents", s.handleDocuments)
+	mux.HandleFunc("/reload", s.handleReload)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics.Default.WritePrometheus(w)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, e *apiError) {
+	if e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, e.Status, map[string]*apiError{"error": e})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":    status,
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+		"documents": len(s.cfg.Catalog.List()),
+	})
+}
+
+func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, errf(http.StatusMethodNotAllowed, CodeBadRequest, "GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"documents": s.cfg.Catalog.List()})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, errf(http.StatusMethodNotAllowed, CodeBadRequest, "POST only"))
+		return
+	}
+	name := r.URL.Query().Get("document")
+	if name == "" {
+		writeErr(w, errf(http.StatusBadRequest, CodeBadRequest, "missing ?document="))
+		return
+	}
+	gen, err := s.cfg.Catalog.Reload(name)
+	if err != nil {
+		writeErr(w, errf(http.StatusNotFound, CodeUnknownDoc, "%v", err))
+		return
+	}
+	invalidated := 0
+	if s.cfg.Cache != nil {
+		invalidated = s.cfg.Cache.InvalidateDoc(name)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"document":          name,
+		"generation":        gen,
+		"plans_invalidated": invalidated,
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, errf(http.StatusMethodNotAllowed, CodeBadRequest, "POST only"))
+		return
+	}
+	if s.draining.Load() {
+		mRejected.Inc()
+		writeErr(w, errf(http.StatusServiceUnavailable, CodeShuttingDown, "server is draining"))
+		return
+	}
+	var req QueryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, errf(http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err))
+		return
+	}
+	if req.Query == "" || req.Document == "" {
+		writeErr(w, errf(http.StatusBadRequest, CodeBadRequest, "query and document are required"))
+		return
+	}
+	switch req.Mode {
+	case "", "improved", "canonical":
+	default:
+		writeErr(w, errf(http.StatusBadRequest, CodeBadRequest, "unknown mode %q", req.Mode))
+		return
+	}
+
+	// Admission: the jobs channel is the queue; a full channel answers an
+	// immediate structured 429 rather than stalling the client.
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	j := &job{req: &req, ctx: ctx, enqueued: time.Now(), done: make(chan struct{})}
+	s.jobWG.Add(1)
+	if s.draining.Load() {
+		// Re-check after jobWG.Add so Shutdown's Wait cannot miss us.
+		s.jobWG.Done()
+		mRejected.Inc()
+		writeErr(w, errf(http.StatusServiceUnavailable, CodeShuttingDown, "server is draining"))
+		return
+	}
+	select {
+	case s.jobs <- j:
+		mInFlight.Add(1)
+	default:
+		s.jobWG.Done()
+		mRejected.Inc()
+		writeErr(w, errf(http.StatusTooManyRequests, CodeOverloaded,
+			"admission queue full (%d executing, %d queued)", s.cfg.Workers, s.cfg.QueueDepth))
+		return
+	}
+	<-j.done
+	mInFlight.Add(-1)
+	if j.err != nil {
+		mErrors.Inc()
+		writeErr(w, j.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.resp)
+}
+
+// execute runs one admitted job on a worker goroutine.
+func (s *Server) execute(j *job) {
+	defer s.jobWG.Done()
+	defer close(j.done)
+	if metrics.Enabled() {
+		mRequests.Inc()
+		mQueueWait.ObserveDuration(time.Since(j.enqueued))
+		defer func() { mServeTime.ObserveDuration(time.Since(j.enqueued)) }()
+	}
+	// The request may have timed out or disconnected while queued.
+	if err := j.ctx.Err(); err != nil {
+		j.err = errf(http.StatusGatewayTimeout, CodeTimeout, "request expired while queued")
+		return
+	}
+
+	h, err := s.cfg.Catalog.Acquire(j.req.Document)
+	if err != nil {
+		j.err = errf(http.StatusNotFound, CodeUnknownDoc, "%v", err)
+		return
+	}
+	defer h.Release()
+
+	opt := natix.Options{Namespaces: j.req.Namespaces, Limits: s.cfg.Limits}
+	if j.req.Mode == "canonical" {
+		opt.Mode = natix.Canonical
+	}
+	var plan *natix.Prepared
+	cached := false
+	if s.cfg.Cache != nil {
+		plan, cached, err = s.cfg.Cache.GetOrCompile(j.req.Query, opt, h.Name, h.Generation)
+	} else {
+		plan, err = natix.CompileWith(j.req.Query, opt)
+	}
+	if err != nil {
+		j.err = errf(http.StatusBadRequest, CodeParseError, "%v", err)
+		return
+	}
+
+	res, err := plan.RunContext(j.ctx, natix.RootNode(h.Doc), nil)
+	if err != nil {
+		j.err = classify(err)
+		return
+	}
+	j.resp = &QueryResponse{
+		Document:   h.Name,
+		Generation: h.Generation,
+		Cached:     cached,
+		ElapsedUS:  time.Since(j.enqueued).Microseconds(),
+		Result:     s.serialize(res),
+		Stats: QueryStats{
+			AxisSteps:  res.Stats.AxisSteps,
+			Tuples:     res.Stats.Tuples,
+			DupDropped: res.Stats.DupDropped,
+			MemoHits:   res.Stats.MemoHits,
+			MemoMisses: res.Stats.MemoMisses,
+		},
+	}
+}
+
+// serialize converts a result value into the JSON payload. Node-sets are
+// returned in document order.
+func (s *Server) serialize(res *natix.Result) QueryResult {
+	v := res.Value
+	switch v.Kind {
+	case xval.KindBoolean:
+		b := v.B
+		return QueryResult{Kind: "boolean", Boolean: &b}
+	case xval.KindNumber:
+		n := v.N
+		return QueryResult{Kind: "number", Number: &n}
+	case xval.KindString:
+		str := v.S
+		return QueryResult{Kind: "string", String: &str}
+	}
+	nodes, _ := res.SortedNodeSet()
+	out := QueryResult{Kind: "node-set", Count: len(nodes)}
+	truncAt := s.cfg.MaxResultNodes
+	for i, n := range nodes {
+		if i == truncAt {
+			out.Truncated = true
+			break
+		}
+		qn := QueryNode{Value: n.StringValue()}
+		switch n.Kind() {
+		case dom.KindDocument:
+			qn.Kind = "document"
+		case dom.KindElement:
+			qn.Kind = "element"
+			qn.Name = n.Name()
+		case dom.KindAttribute:
+			qn.Kind = "attribute"
+			qn.Name = n.Name()
+			qn.Value = n.Value()
+		case dom.KindText:
+			qn.Kind = "text"
+			qn.Value = n.Value()
+		case dom.KindComment:
+			qn.Kind = "comment"
+			qn.Value = n.Value()
+		case dom.KindProcInstr:
+			qn.Kind = "processing-instruction"
+			qn.Name = n.Name()
+			qn.Value = n.Value()
+		case dom.KindNamespace:
+			qn.Kind = "namespace"
+			qn.Name = n.Name()
+			qn.Value = n.Value()
+		default:
+			qn.Kind = "node"
+		}
+		out.Nodes = append(out.Nodes, qn)
+	}
+	return out
+}

@@ -174,9 +174,22 @@ func (o *Options) translateOptions() translate.Options {
 	return t
 }
 
-// Query is a compiled XPath expression. Queries are immutable and safe for
-// concurrent Run calls.
-type Query struct {
+// Prepared is a compiled XPath expression: the reusable product of the full
+// compilation pipeline (parse, normalize, analyze, translate, codegen). A
+// Prepared is immutable after Compile returns and safe for any number of
+// concurrent Run/RunContext calls — every execution gets its own register
+// file, NVM machine, iterator tree and governor, so the only state shared
+// between two simultaneous runs is read-only (the plan, its subscript
+// programs) or internally synchronized (the lazily built ID/name index
+// caches). Compiling once and running many times amortizes the whole
+// pipeline, which is the expensive part of short queries; internal/plancache
+// builds an LRU of Prepared plans on top of this contract.
+//
+// Concurrency caveat: the safety statement covers the plan, not the
+// document. In-memory documents (ParseDocument) are immutable and support
+// concurrent readers; a store-backed *store.Doc is single-threaded — use one
+// handle per goroutine (internal/catalog pools them).
+type Prepared struct {
 	source string
 	root   sem.Expr
 	trans  *translate.Result
@@ -184,14 +197,24 @@ type Query struct {
 	limits Limits
 }
 
+// Query is the compiled-expression type's historical name.
+type Query = Prepared
+
 // Compile compiles an XPath 1.0 expression with default options.
-func Compile(expr string) (*Query, error) {
+func Compile(expr string) (*Prepared, error) {
 	return CompileWith(expr, Options{})
+}
+
+// Prepare compiles an XPath 1.0 expression into a reusable Prepared plan.
+// It is CompileWith under the name the serving layers use: compile once,
+// Run concurrently and repeatedly.
+func Prepare(expr string, opt Options) (*Prepared, error) {
+	return CompileWith(expr, opt)
 }
 
 // CompileWith compiles an XPath 1.0 expression through the full pipeline of
 // paper section 5.1.
-func CompileWith(expr string, opt Options) (*Query, error) {
+func CompileWith(expr string, opt Options) (*Prepared, error) {
 	if !metrics.Enabled() {
 		return compileWith(expr, opt)
 	}
@@ -205,7 +228,7 @@ func CompileWith(expr string, opt Options) (*Query, error) {
 	return q, err
 }
 
-func compileWith(expr string, opt Options) (*Query, error) {
+func compileWith(expr string, opt Options) (*Prepared, error) {
 	ast, err := xpath.Parse(expr)
 	if err != nil {
 		return nil, err
@@ -226,11 +249,11 @@ func compileWith(expr string, opt Options) (*Query, error) {
 		return nil, fmt.Errorf("compile %q: %w", expr, err)
 	}
 	plan.DisableSmartAgg = opt.DisableSmartAggregation
-	return &Query{source: expr, root: root, trans: trans, plan: plan, limits: opt.Limits}, nil
+	return &Prepared{source: expr, root: root, trans: trans, plan: plan, limits: opt.Limits}, nil
 }
 
 // MustCompile compiles or panics; for static query tables.
-func MustCompile(expr string) *Query {
+func MustCompile(expr string) *Prepared {
 	q, err := Compile(expr)
 	if err != nil {
 		panic(err)
@@ -240,7 +263,7 @@ func MustCompile(expr string) *Query {
 
 // MustCompileWith compiles with explicit options or panics; for static
 // query tables.
-func MustCompileWith(expr string, opt Options) *Query {
+func MustCompileWith(expr string, opt Options) *Prepared {
 	q, err := CompileWith(expr, opt)
 	if err != nil {
 		panic(err)
@@ -249,13 +272,21 @@ func MustCompileWith(expr string, opt Options) *Query {
 }
 
 // String returns the source expression.
-func (q *Query) String() string { return q.source }
+func (q *Prepared) String() string { return q.source }
+
+// CostBytes estimates the resident size of the compiled plan: registers,
+// subscript programs, operator tree. The estimate is coarse by design — the
+// same philosophy as the governor's materialization accounting — and exists
+// so a plan cache can enforce a byte budget without reflection walks.
+func (q *Prepared) CostBytes() int64 {
+	return int64(len(q.source)) + q.plan.SizeEstimate()
+}
 
 // Result is the outcome of one execution.
 type Result struct {
 	// Value is the query result. Node-sets are returned in the order the
 	// plan produced them, which is not necessarily document order (paper
-	// section 2.1); use SortedNodes for document order.
+	// section 2.1); use SortedNodeSet for document order.
 	Value Value
 	// Stats are the engine counters of this run.
 	Stats Stats
@@ -274,20 +305,9 @@ func (r *Result) SortedNodeSet() ([]Node, bool) {
 	return nodes, true
 }
 
-// SortedNodes returns the result node-set in document order, or nil for
-// non-node-set results.
-//
-// Deprecated: earlier releases panicked on non-node-set results — the
-// library's last public-API panic. Use SortedNodeSet, which distinguishes
-// "empty node-set" from "not a node-set".
-func (r *Result) SortedNodes() []Node {
-	nodes, _ := r.SortedNodeSet()
-	return nodes
-}
-
 // Run evaluates the query with ctx as context node and the given variable
 // bindings. It is RunContext without a cancellation context.
-func (q *Query) Run(ctx Node, vars map[string]Value) (*Result, error) {
+func (q *Prepared) Run(ctx Node, vars map[string]Value) (*Result, error) {
 	return q.RunContext(context.Background(), ctx, vars)
 }
 
@@ -300,7 +320,7 @@ func (q *Query) Run(ctx Node, vars map[string]Value) (*Result, error) {
 //
 // The execution boundary is panic-safe: an engine panic is recovered and
 // returned as a *InternalError rather than crashing the process.
-func (q *Query) RunContext(stdctx context.Context, node Node, vars map[string]Value) (res *Result, err error) {
+func (q *Prepared) RunContext(stdctx context.Context, node Node, vars map[string]Value) (res *Result, err error) {
 	var start time.Time
 	if metrics.Enabled() {
 		start = time.Now()
@@ -349,7 +369,7 @@ type Analysis struct {
 // counterpart of ExplainPhysical. The run obeys the same cancellation,
 // limit and panic-safety contract as RunContext; expect a few percent of
 // timer overhead, which ordinary runs never pay.
-func (q *Query) ExplainAnalyze(stdctx context.Context, node Node, vars map[string]Value) (a *Analysis, err error) {
+func (q *Prepared) ExplainAnalyze(stdctx context.Context, node Node, vars map[string]Value) (a *Analysis, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			a = nil
@@ -367,23 +387,23 @@ func (q *Query) ExplainAnalyze(stdctx context.Context, node Node, vars map[strin
 }
 
 // ExplainAlgebra renders the translated logical algebra expression.
-func (q *Query) ExplainAlgebra() string { return q.plan.Explain() }
+func (q *Prepared) ExplainAlgebra() string { return q.plan.Explain() }
 
 // ExplainIR renders the normalized intermediate representation.
-func (q *Query) ExplainIR() string { return q.root.String() }
+func (q *Prepared) ExplainIR() string { return q.root.String() }
 
 // ExplainPhysical renders the generated physical plan: register
 // assignments, iterators, and the NVM disassembly of every subscript
 // program (the "execution plan in the NQE syntax" of paper section 5.1).
-func (q *Query) ExplainPhysical() string { return q.plan.ExplainPhysical() }
+func (q *Prepared) ExplainPhysical() string { return q.plan.ExplainPhysical() }
 
 // Algebra exposes the logical plan for tooling (nil for scalar queries).
-func (q *Query) Algebra() algebra.Op { return q.trans.Plan }
+func (q *Prepared) Algebra() algebra.Op { return q.trans.Plan }
 
 // DOT renders the logical plan as a Graphviz digraph (the paper's query
 // tree style, Figs. 2-4). Empty for scalar queries without a top-level
 // sequence plan.
-func (q *Query) DOT() string {
+func (q *Prepared) DOT() string {
 	if q.trans.Plan == nil {
 		return ""
 	}

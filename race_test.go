@@ -1,9 +1,12 @@
 package natix
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
+
+	"natix/internal/store"
 )
 
 // raceDoc has both id attributes (exercising the query-cached IDIndex) and
@@ -69,6 +72,82 @@ func TestConcurrentQuerySharing(t *testing.T) {
 	}
 	if nodes, ok := res.SortedNodeSet(); !ok || len(nodes) != 2 {
 		t.Errorf("id lookup after concurrent runs: %v, %v", nodes, ok)
+	}
+}
+
+// TestConcurrentSharedPrepared runs ONE Prepared plan from 8 goroutines on
+// both backends at once: the in-memory document is shared by every
+// goroutine, while each goroutine owns a private store handle over the same
+// bytes (a *store.Doc is single-threaded — the same discipline the catalog
+// enforces with its handle pool). Run under -race this pins the concurrency
+// contract documented on Prepared: all per-run state (machine, registers,
+// memo tables, iterators) is allocated per Run, never on the plan.
+func TestConcurrentSharedPrepared(t *testing.T) {
+	var sb []byte
+	sb = append(sb, "<site><people>"...)
+	for i := 0; i < 60; i++ {
+		sb = append(sb, fmt.Sprintf(`<person id="p%d"><age>%d</age></person>`, i, 10+i)...)
+	}
+	sb = append(sb, "</people></site>"...)
+	mem, err := ParseDocumentString(string(sb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.WriteTo(&buf, mem); err != nil {
+		t.Fatal(err)
+	}
+
+	// One shared plan per shape: a node-set with a memoized predicate, a
+	// positional plan, and an aggregate.
+	plans := []*Prepared{
+		MustCompile("//person[age > count(//person) div 2]"),
+		MustCompile("/site/people/person[position() = last()]/@id"),
+		MustCompile("sum(//age)"),
+	}
+	want := make([]string, len(plans))
+	for i, p := range plans {
+		res, err := p.Run(RootNode(mem), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Value.String()
+	}
+
+	const goroutines = 8
+	const rounds = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sd, err := store.OpenReaderAt(bytes.NewReader(buf.Bytes()), store.Options{BufferPages: 8})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer sd.Close()
+			roots := []Node{RootNode(mem), RootNode(sd)}
+			for r := 0; r < rounds; r++ {
+				for i, p := range plans {
+					res, err := p.Run(roots[(g+r)%2], nil)
+					if err != nil {
+						errs <- fmt.Errorf("plan %d: %w", i, err)
+						return
+					}
+					if got := res.Value.String(); got != want[i] {
+						errs <- fmt.Errorf("plan %d: got %q want %q", i, got, want[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

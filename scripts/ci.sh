@@ -30,3 +30,37 @@ go test -race ./...
 # -short selects the small fixed corpus prefix; the full matrix runs in the
 # regular (non-short) go test above as well.
 go test -short -run TestMatrix ./internal/difftest/
+
+# Plan-cache guard: a cache hit must return the identical compiled artifact
+# (pointer identity — no parse/translate/codegen on the hit path), and the
+# benchmark pair quantifies the cold/hot gap.
+go test -run 'TestPutRefreshAndGetOrCompile|TestLRUEvictionOrder' ./internal/plancache/
+go test -run xxx -bench 'BenchmarkColdCompile|BenchmarkCacheHit' -benchtime 100x ./internal/plancache/
+
+# natix-serve smoke test: serve a generated document on an ephemeral port,
+# run a query twice (second must be a cache hit), check /healthz and
+# /metrics, then drain cleanly via SIGTERM.
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cat > "$SMOKE_DIR/doc.xml" <<'XML'
+<lib><book><title>Algebra</title></book><book><title>XPath</title></book></lib>
+XML
+go build -o "$SMOKE_DIR/natix-serve" ./cmd/natix-serve
+"$SMOKE_DIR/natix-serve" -addr 127.0.0.1:0 books="$SMOKE_DIR/doc.xml" \
+    > "$SMOKE_DIR/serve.out" 2> "$SMOKE_DIR/serve.err" &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+    grep -q 'listening on' "$SMOKE_DIR/serve.out" && break
+    sleep 0.1
+done
+SERVE_URL=$(sed -n 's/^natix-serve: listening on //p' "$SMOKE_DIR/serve.out")
+[ -n "$SERVE_URL" ]
+BODY='{"query":"//book/title","document":"books"}'
+curl -sf "$SERVE_URL/query" -d "$BODY" | grep -q '"count":2'
+curl -sf "$SERVE_URL/query" -d "$BODY" | grep -q '"cached":true'
+curl -sf "$SERVE_URL/healthz" | grep -q '"status":"ok"'
+curl -sf "$SERVE_URL/metrics" | grep -q '^natix_plancache_hits_total 1'
+curl -sf "$SERVE_URL/documents" | grep -q '"name":"books"'
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q 'drained' "$SMOKE_DIR/serve.err"
