@@ -9,14 +9,21 @@
 //	natix-bench -exp all -sizes 2000,4000,8000 -repeats 5
 //	natix-bench -exp ablations
 //	natix-bench -exp buffer
+//	natix-bench -exp batch -json > BENCH_PR5.json
 //
 // Engine names: natix (algebraic engine over the page-backed store),
-// natix-mem (same plans, in-memory document), interp (main-memory
-// interpreter standing in for Xalan/xsltproc), naive (interpreter without
-// intermediate duplicate elimination).
+// natix-mem (same plans, in-memory document), natix-scalar /
+// natix-mem-scalar (the same with the batched execution protocol off),
+// interp (main-memory interpreter standing in for Xalan/xsltproc), naive
+// (interpreter without intermediate duplicate elimination).
+//
+// -json emits every measurement as a JSON array on stdout (ns/op,
+// allocs/op and engine counters per point) instead of the human tables;
+// progress still goes to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,7 +36,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5, fig6..fig9, fig10, ablations, buffer, or all")
+	exp := flag.String("exp", "all", "experiment: fig5, fig6..fig9, fig10, batch, ablations, buffer, or all")
+	jsonOut := flag.Bool("json", false, "emit measurements as a JSON array on stdout instead of tables")
 	metricsDump := flag.Bool("metrics", false, "print the process metrics registry (Prometheus text format) after the run")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address during the run")
 	sizes := flag.String("sizes", "", "comma-separated element counts (default: the paper's 2000..80000 sweep)")
@@ -72,6 +80,7 @@ func main() {
 		cfg.Engines = strings.Split(*engines, ",")
 	}
 
+	jsonMode = *jsonOut
 	run := func(id string) {
 		switch id {
 		case "fig5":
@@ -80,6 +89,8 @@ func main() {
 			figure(id, cfg)
 		case "fig10":
 			fig10(*pubs, cfg)
+		case "batch":
+			batch(cfg)
 		case "ablations":
 			ablations(cfg)
 		case "buffer":
@@ -89,12 +100,38 @@ func main() {
 		}
 	}
 	if *exp == "all" {
-		for _, id := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablations", "buffer"} {
+		for _, id := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "batch", "ablations", "buffer"} {
 			run(id)
 		}
+	} else {
+		run(*exp)
+	}
+	if jsonMode {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(collected); err != nil {
+			fail("encode: %v", err)
+		}
+	}
+}
+
+// jsonMode and collected implement -json: experiments push their
+// measurements here and the tables are suppressed; main emits one array at
+// exit. fig5 (a listing) and buffer (store counters, not Measurements) emit
+// nothing in JSON mode.
+var (
+	jsonMode  bool
+	collected []bench.Measurement
+)
+
+// emit either prints the measurements through table (human mode) or
+// collects them for the final JSON array.
+func emit(ms []bench.Measurement, table func()) {
+	if jsonMode {
+		collected = append(collected, ms...)
 		return
 	}
-	run(*exp)
+	table()
 }
 
 func fail(format string, args ...any) {
@@ -103,6 +140,9 @@ func fail(format string, args ...any) {
 }
 
 func fig5() {
+	if jsonMode {
+		return
+	}
 	fmt.Println("== Fig. 5: queries against generated documents ==")
 	for _, q := range bench.Fig5 {
 		fmt.Printf("  %s  %s   (results in %s)\n", q.ID, q.XPath, bench.FigForQuery(q.ID))
@@ -117,13 +157,69 @@ func figure(id string, cfg bench.Config) {
 			spec = q
 		}
 	}
-	fmt.Printf("== %s: %s — time vs document size ==\n", strings.ToUpper(id[:1])+id[1:], spec.XPath)
 	ms, err := bench.RunFigure(id, cfg)
 	if err != nil {
 		fail("%s: %v", id, err)
 	}
-	printSeries(ms)
-	fmt.Println()
+	emit(ms, func() {
+		fmt.Printf("== %s: %s — time vs document size ==\n", strings.ToUpper(id[:1])+id[1:], spec.XPath)
+		printSeries(ms)
+		fmt.Println()
+	})
+}
+
+// batch runs the batched-vs-scalar comparison over the Fig. 5 queries and
+// prints a speedup table (scalar time / batched time per backend).
+func batch(cfg bench.Config) {
+	ms, err := bench.RunBatchComparison(cfg)
+	if err != nil {
+		fail("batch: %v", err)
+	}
+	emit(ms, func() {
+		fmt.Println("== Batch: batched vs scalar execution, Fig. 5 queries ==")
+		type key struct {
+			query  string
+			scale  int
+			engine string
+		}
+		byKey := map[key]bench.Measurement{}
+		type rowKey struct {
+			query string
+			scale int
+		}
+		var rows []rowKey
+		seen := map[rowKey]bool{}
+		for _, m := range ms {
+			byKey[key{m.Query, m.Scale, m.Engine}] = m
+			rk := rowKey{m.Query, m.Scale}
+			if !seen[rk] {
+				seen[rk] = true
+				rows = append(rows, rk)
+			}
+		}
+		speedup := func(rk rowKey, scalar, batched string) string {
+			s, b := byKey[key{rk.query, rk.scale, scalar}], byKey[key{rk.query, rk.scale, batched}]
+			if s.Skipped || b.Skipped || b.Duration == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2fx", float64(s.Duration)/float64(b.Duration))
+		}
+		fmt.Printf("  %-5s %-8s %14s %14s %8s %14s %14s %8s\n",
+			"query", "elements", "store-scalar", "store-batch", "speedup", "mem-scalar", "mem-batch", "speedup")
+		for _, rk := range rows {
+			ss := byKey[key{rk.query, rk.scale, bench.EngineNatixScalar}]
+			sb := byKey[key{rk.query, rk.scale, bench.EngineNatix}]
+			mss := byKey[key{rk.query, rk.scale, bench.EngineNatixMemScalar}]
+			msb := byKey[key{rk.query, rk.scale, bench.EngineNatixMem}]
+			fmt.Printf("  %-5s %-8d %14s %14s %8s %14s %14s %8s\n",
+				rk.query, rk.scale,
+				ss.Duration.Round(10*time.Microsecond), sb.Duration.Round(10*time.Microsecond),
+				speedup(rk, bench.EngineNatixScalar, bench.EngineNatix),
+				mss.Duration.Round(10*time.Microsecond), msb.Duration.Round(10*time.Microsecond),
+				speedup(rk, bench.EngineNatixMemScalar, bench.EngineNatixMem))
+		}
+		fmt.Println()
+	})
 }
 
 // printSeries prints one row per document size and one column per engine,
@@ -164,47 +260,54 @@ func printSeries(ms []bench.Measurement) {
 }
 
 func fig10(pubs int, cfg bench.Config) {
-	fmt.Printf("== Fig. 10: queries against synthetic DBLP (%d publications) ==\n", pubs)
 	ms, err := bench.RunFig10(pubs, cfg)
 	if err != nil {
 		fail("fig10: %v", err)
 	}
-	byQuery := map[string]map[string]bench.Measurement{}
-	for _, m := range ms {
-		if byQuery[m.Query] == nil {
-			byQuery[m.Query] = map[string]bench.Measurement{}
+	emit(ms, func() {
+		fmt.Printf("== Fig. 10: queries against synthetic DBLP (%d publications) ==\n", pubs)
+		byQuery := map[string]map[string]bench.Measurement{}
+		for _, m := range ms {
+			if byQuery[m.Query] == nil {
+				byQuery[m.Query] = map[string]bench.Measurement{}
+			}
+			byQuery[m.Query][m.Engine] = m
 		}
-		byQuery[m.Query][m.Engine] = m
-	}
-	fmt.Printf("  %-4s %-14s %-14s %8s  %s\n", "id", "interp", "natix", "results", "path")
-	for _, spec := range bench.Fig10 {
-		row := byQuery[spec.ID]
-		ip, nx := row[bench.EngineInterp], row[bench.EngineNatix]
-		fmt.Printf("  %-4s %-14s %-14s %8d  %s\n", spec.ID,
-			ip.Duration.Round(10*time.Microsecond), nx.Duration.Round(10*time.Microsecond),
-			nx.Result, spec.XPath)
-	}
-	fmt.Println()
+		fmt.Printf("  %-4s %-14s %-14s %8s  %s\n", "id", "interp", "natix", "results", "path")
+		for _, spec := range bench.Fig10 {
+			row := byQuery[spec.ID]
+			ip, nx := row[bench.EngineInterp], row[bench.EngineNatix]
+			fmt.Printf("  %-4s %-14s %-14s %8d  %s\n", spec.ID,
+				ip.Duration.Round(10*time.Microsecond), nx.Duration.Round(10*time.Microsecond),
+				nx.Result, spec.XPath)
+		}
+		fmt.Println()
+	})
 }
 
 func ablations(cfg bench.Config) {
-	fmt.Println("== Ablations: design-choice studies ==")
 	ms, err := bench.RunAblations(cfg)
 	if err != nil {
 		fail("ablations: %v", err)
 	}
-	var lastExp string
-	for _, m := range ms {
-		if m.Exp != lastExp {
-			fmt.Printf("  %s (n=%d): %s\n", m.Exp, m.Scale, m.Query)
-			lastExp = m.Exp
+	emit(ms, func() {
+		fmt.Println("== Ablations: design-choice studies ==")
+		var lastExp string
+		for _, m := range ms {
+			if m.Exp != lastExp {
+				fmt.Printf("  %s (n=%d): %s\n", m.Exp, m.Scale, m.Query)
+				lastExp = m.Exp
+			}
+			fmt.Printf("    %-14s %14s  (%d results)\n", m.Engine, m.Duration.Round(10*time.Microsecond), m.Result)
 		}
-		fmt.Printf("    %-14s %14s  (%d results)\n", m.Engine, m.Duration.Round(10*time.Microsecond), m.Result)
-	}
-	fmt.Println()
+		fmt.Println()
+	})
 }
 
 func buffer() {
+	if jsonMode {
+		return
+	}
 	fmt.Println("== Buffer manager sweep: query 1 over the page-backed store (n=8000) ==")
 	pts, err := bench.RunBufferAblation(8000, nil, 0)
 	if err != nil {

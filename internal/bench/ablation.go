@@ -129,6 +129,23 @@ var Ablations = []Ablation{
 			{"full-scan", natix.Options{DisableSmartAggregation: true}},
 		},
 	},
+	{
+		ID: "batch",
+		// Batch-size sweep for the batched execution protocol: scalar,
+		// degenerate size 1 (maximal protocol traffic), and powers up to
+		// 1024, on the hot Fig. 5 chain. The default (256) should sit on
+		// the flat part of the curve.
+		Query: Fig5[0].XPath,
+		Scale: 4000,
+		Vars: []AblationVariant{
+			{"batch-off", natix.Options{Batch: natix.BatchOff}},
+			{"batch-1", natix.Options{Batch: 1}},
+			{"batch-16", natix.Options{Batch: 16}},
+			{"batch-64", natix.Options{Batch: 64}},
+			{"batch-256", natix.Options{}},
+			{"batch-1024", natix.Options{Batch: 1024}},
+		},
+	},
 }
 
 // RunAblations measures every ablation over the in-memory documents.
@@ -153,14 +170,15 @@ func RunAblations(cfg Config) ([]Measurement, error) {
 				}
 				return 1, nil
 			}}
-			d, n, err := measure(r, cfg.Repeats)
+			d, n, allocs, err := measure(r, cfg.Repeats)
 			if err != nil {
 				return nil, fmt.Errorf("ablation %s/%s: %w", ab.ID, v.Name, err)
 			}
 			m := Measurement{
 				Exp: "ablation-" + ab.ID, Query: ab.Query, Engine: v.Name,
-				Scale: ab.Scale, Duration: d, Result: n,
+				Scale: ab.Scale,
 			}
+			m.fill(r, d, n, allocs)
 			out = append(out, m)
 			if cfg.Progress != nil {
 				cfg.Progress(m)

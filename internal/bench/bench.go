@@ -8,6 +8,7 @@ package bench
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -82,18 +83,26 @@ var Fig10 = []QuerySpec{
 
 // Engine names. "natix" is the algebraic engine over the page-backed store
 // (the paper's system); "natix-mem" runs the same plans over the in-memory
-// document; "interp" is the main-memory interpreter standing in for
-// Xalan/xsltproc; "naive" is the interpreter without intermediate duplicate
-// elimination (the exponential behaviour of [7,8]).
+// document; the "-scalar" twins run the identical plans with the batched
+// execution protocol off (tuple-at-a-time), isolating the batching win;
+// "interp" is the main-memory interpreter standing in for Xalan/xsltproc;
+// "naive" is the interpreter without intermediate duplicate elimination
+// (the exponential behaviour of [7,8]).
 const (
-	EngineNatix    = "natix"
-	EngineNatixMem = "natix-mem"
-	EngineInterp   = "interp"
-	EngineNaive    = "naive"
+	EngineNatix          = "natix"
+	EngineNatixMem       = "natix-mem"
+	EngineNatixScalar    = "natix-scalar"
+	EngineNatixMemScalar = "natix-mem-scalar"
+	EngineInterp         = "interp"
+	EngineNaive          = "naive"
 )
 
 // AllEngines lists the engines a figure sweep compares.
 var AllEngines = []string{EngineNatix, EngineNatixMem, EngineInterp, EngineNaive}
+
+// BatchEngines lists the engines of the batched-vs-scalar comparison: each
+// natix backend in its default (batched) and scalar form.
+var BatchEngines = []string{EngineNatix, EngineNatixScalar, EngineNatixMem, EngineNatixMemScalar}
 
 // docCache caches generated documents and their store images across
 // measurements.
@@ -163,6 +172,9 @@ func StoreImage(key string, d *dom.MemDoc, bufferPages int) (*store.Doc, error) 
 // once and reports the result cardinality (node count or 1 for scalars).
 type Runner struct {
 	Execute func() (int, error)
+	// Stats, when non-nil, returns the engine counters of the most recent
+	// Execute (the natix engines expose them; the interpreters do not).
+	Stats func() natix.Stats
 }
 
 // NewRunner builds a runner for the engine over the given documents. The
@@ -175,25 +187,34 @@ func NewRunner(engine, query string, mem *dom.MemDoc, stored *store.Doc) (*Runne
 		return 1
 	}
 	switch engine {
-	case EngineNatix, EngineNatixMem:
+	case EngineNatix, EngineNatixMem, EngineNatixScalar, EngineNatixMemScalar:
 		var doc dom.Document = mem
-		if engine == EngineNatix {
+		if engine == EngineNatix || engine == EngineNatixScalar {
 			if stored == nil {
 				return nil, fmt.Errorf("bench: %s needs a store image", engine)
 			}
 			doc = stored
 		}
-		return &Runner{Execute: func() (int, error) {
-			q, err := natix.Compile(query)
-			if err != nil {
-				return 0, err
-			}
-			res, err := q.Run(natix.RootNode(doc), nil)
-			if err != nil {
-				return 0, err
-			}
-			return size(res.Value), nil
-		}}, nil
+		var opt natix.Options
+		if engine == EngineNatixScalar || engine == EngineNatixMemScalar {
+			opt.Batch = natix.BatchOff
+		}
+		var last natix.Stats
+		return &Runner{
+			Execute: func() (int, error) {
+				q, err := natix.CompileWith(query, opt)
+				if err != nil {
+					return 0, err
+				}
+				res, err := q.Run(natix.RootNode(doc), nil)
+				if err != nil {
+					return 0, err
+				}
+				last = res.Stats
+				return size(res.Value), nil
+			},
+			Stats: func() natix.Stats { return last },
+		}, nil
 	case EngineInterp, EngineNaive:
 		opt := interp.Options{DedupSteps: engine == EngineInterp}
 		return &Runner{Execute: func() (int, error) {
@@ -211,18 +232,25 @@ func NewRunner(engine, query string, mem *dom.MemDoc, stored *store.Doc) (*Runne
 	return nil, fmt.Errorf("bench: unknown engine %q", engine)
 }
 
-// Measurement is one harness data point.
+// Measurement is one harness data point. The JSON form is the format of
+// committed baselines (BENCH_PR5.json) and `natix-bench -json`: Duration
+// marshals as integer nanoseconds per operation.
 type Measurement struct {
-	Exp      string
-	Query    string
-	Engine   string
-	Scale    int // element count or publication count
-	Duration time.Duration
-	Result   int
+	Exp      string        `json:"exp"`
+	Query    string        `json:"query"`
+	Engine   string        `json:"engine"`
+	Scale    int           `json:"scale"` // element count or publication count
+	Duration time.Duration `json:"ns_per_op"`
+	Result   int           `json:"result"`
+	// Allocs is the heap allocations per Execute, averaged over repeats.
+	Allocs int64 `json:"allocs_per_op"`
+	// Stats are the engine counters of the final repeat (zero for the
+	// interpreter engines, which expose none).
+	Stats natix.Stats `json:"stats"`
 	// Skipped marks engines dropped from larger scales after exceeding
 	// the budget (the paper's curves "stop before reaching the end of the
 	// x-axis").
-	Skipped bool
+	Skipped bool `json:"skipped,omitempty"`
 }
 
 // Config controls a harness run.
@@ -286,11 +314,11 @@ func RunFigure(figID string, cfg Config) ([]Measurement, error) {
 			if err != nil {
 				return nil, err
 			}
-			d, n, err := measure(r, cfg.Repeats)
+			d, n, allocs, err := measure(r, cfg.Repeats)
 			if err != nil {
 				return nil, fmt.Errorf("%s %s on %d: %w", engine, spec.ID, size, err)
 			}
-			m.Duration, m.Result = d, n
+			m.fill(r, d, n, allocs)
 			if d > cfg.Budget {
 				dead[engine] = true
 			}
@@ -323,11 +351,12 @@ func RunFig10(publications int, cfg Config) ([]Measurement, error) {
 			if err != nil {
 				return nil, err
 			}
-			d, n, err := measure(r, cfg.Repeats)
+			d, n, allocs, err := measure(r, cfg.Repeats)
 			if err != nil {
 				return nil, fmt.Errorf("%s %s: %w", engine, spec.ID, err)
 			}
-			m := Measurement{Exp: "fig10", Query: spec.ID, Engine: engine, Scale: publications, Duration: d, Result: n}
+			m := Measurement{Exp: "fig10", Query: spec.ID, Engine: engine, Scale: publications}
+			m.fill(r, d, n, allocs)
 			out = append(out, m)
 			if cfg.Progress != nil {
 				cfg.Progress(m)
@@ -337,17 +366,54 @@ func RunFig10(publications int, cfg Config) ([]Measurement, error) {
 	return out, nil
 }
 
-func measure(r *Runner, repeats int) (time.Duration, int, error) {
+func measure(r *Runner, repeats int) (time.Duration, int, int64, error) {
 	var total time.Duration
 	var size int
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	for i := 0; i < repeats; i++ {
 		start := time.Now()
 		n, err := r.Execute()
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 		total += time.Since(start)
 		size = n
 	}
-	return total / time.Duration(repeats), size, nil
+	runtime.ReadMemStats(&ms1)
+	allocs := int64(ms1.Mallocs-ms0.Mallocs) / int64(repeats)
+	return total / time.Duration(repeats), size, allocs, nil
+}
+
+// fill copies a measurement's per-run extras out of a finished runner.
+func (m *Measurement) fill(r *Runner, d time.Duration, n int, allocs int64) {
+	m.Duration, m.Result, m.Allocs = d, n, allocs
+	if r.Stats != nil {
+		m.Stats = r.Stats()
+	}
+}
+
+// RunBatchComparison sweeps every Fig. 5 query over the batched engines and
+// their scalar twins — the data behind the batched-vs-scalar speedup table
+// and the BENCH_PR5.json baseline.
+func RunBatchComparison(cfg Config) ([]Measurement, error) {
+	if len(cfg.Engines) == 0 {
+		cfg.Engines = BatchEngines
+	}
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = SmallSizes
+	}
+	cfg.fill()
+	var out []Measurement
+	for _, fig := range []string{"fig6", "fig7", "fig8", "fig9"} {
+		ms, err := RunFigure(fig, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for i := range ms {
+			ms[i].Exp = "batch"
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
 }

@@ -82,12 +82,15 @@ func TestAblationHarness(t *testing.T) {
 	for _, m := range ms {
 		byExp[m.Exp] = append(byExp[m.Exp], m)
 	}
-	for exp, pair := range byExp {
-		if len(pair) != 2 {
-			t.Fatalf("%s: %d variants", exp, len(pair))
+	for exp, vars := range byExp {
+		if len(vars) < 2 {
+			t.Fatalf("%s: %d variants", exp, len(vars))
 		}
-		if pair[0].Result != pair[1].Result {
-			t.Errorf("%s: variants disagree: %d vs %d", exp, pair[0].Result, pair[1].Result)
+		for _, v := range vars[1:] {
+			if v.Result != vars[0].Result {
+				t.Errorf("%s: variants disagree: %d (%s) vs %d (%s)",
+					exp, vars[0].Result, vars[0].Engine, v.Result, v.Engine)
+			}
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"natix/internal/algebra"
 	"natix/internal/dom"
 	"natix/internal/guard"
+	"natix/internal/metrics"
 	"natix/internal/nvm"
 	"natix/internal/physical"
 	"natix/internal/translate"
@@ -41,6 +42,17 @@ type Plan struct {
 	// DisableSmartAgg turns off aggregate early exit for ablations.
 	DisableSmartAgg bool
 
+	// BatchSize is the node-column batch size of the batched execution
+	// protocol; 0 runs the plan scalar. Compile sets the default; callers
+	// may override it before the first Run.
+	BatchSize int
+
+	// batchCol records, for every operator of the main tree that serves
+	// the batched protocol, the register of the node column it produces.
+	// Populated once by Compile and read-only afterwards, so concurrent
+	// Run instantiations read it without synchronization.
+	batchCol map[algebra.Op]int
+
 	// WrapIter, when set, wraps every iterator instantiated for a run.
 	// It is a test hook (leak detection harnesses); set it before any
 	// Run call — it is not synchronized.
@@ -65,11 +77,12 @@ type Plan struct {
 func Compile(res *translate.Result) (*Plan, error) {
 	g := &generator{
 		plan: &Plan{
-			source: res,
-			ids:    xfn.NewIDIndex(),
-			names:  xfn.GlobalNames,
-			progs:  map[algebra.Op][]*nvm.Program{},
-			opSlot: map[algebra.Op]int{},
+			source:   res,
+			ids:      xfn.NewIDIndex(),
+			names:    xfn.GlobalNames,
+			progs:    map[algebra.Op][]*nvm.Program{},
+			opSlot:   map[algebra.Op]int{},
+			batchCol: map[algebra.Op]int{},
 		},
 		regs: map[string]int{},
 	}
@@ -81,6 +94,8 @@ func Compile(res *translate.Result) (*Plan, error) {
 		}
 		g.plan.root = b
 		g.plan.rootAttrReg = g.regFor(res.Attr)
+		g.plan.BatchSize = physical.DefaultBatchSize
+		g.markBatch(res.Plan, g.plan.rootAttrReg)
 	} else {
 		prog, err := g.compileScalar(res.Scalar)
 		if err != nil {
@@ -137,7 +152,7 @@ func (p *Plan) run(stdctx context.Context, limits guard.Limits, ctx dom.Node, va
 		NoEarlyExit: p.DisableSmartAgg,
 		Gov:         gov,
 	}
-	ex := &physical.Exec{M: m, IDs: p.ids, Names: p.names, CtxDoc: ctx.Doc, Gov: gov, WrapIter: p.WrapIter}
+	ex := &physical.Exec{M: m, IDs: p.ids, Names: p.names, CtxDoc: ctx.Doc, Gov: gov, WrapIter: p.WrapIter, BatchSize: p.BatchSize}
 	if prof != nil {
 		m.Prof = prof.Progs
 		ex.Prof = prof
@@ -164,20 +179,48 @@ func (p *Plan) run(stdctx context.Context, limits guard.Limits, ctx dom.Node, va
 		return nil, err
 	}
 	var nodes []dom.Node
-	for {
-		ok, err := it.Next()
-		if err != nil {
-			it.Close()
-			return nil, err
+	if bi, ok := it.(physical.BatchIter); ok && bi.Batched() {
+		// Batched drain: the root pipeline delivers node columns directly,
+		// so the per-tuple register read disappears and byte-budget
+		// charging amortizes across the batch.
+		buf := ex.GetNodeBuf()
+		for {
+			k, err := bi.NextBatch(buf)
+			if err != nil {
+				ex.PutNodeBuf(buf)
+				it.Close()
+				return nil, err
+			}
+			if k == 0 {
+				break
+			}
+			if metrics.Enabled() {
+				mBatchFill.Observe(float64(k) / float64(len(buf)))
+			}
+			if err := gov.Grow(int64(k) * resultNodeBytes); err != nil {
+				ex.PutNodeBuf(buf)
+				it.Close()
+				return nil, err
+			}
+			nodes = append(nodes, buf[:k]...)
 		}
-		if !ok {
-			break
+		ex.PutNodeBuf(buf)
+	} else {
+		for {
+			ok, err := it.Next()
+			if err != nil {
+				it.Close()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			if err := gov.Grow(resultNodeBytes); err != nil {
+				it.Close()
+				return nil, err
+			}
+			nodes = append(nodes, m.Regs[p.rootAttrReg].Node())
 		}
-		if err := gov.Grow(resultNodeBytes); err != nil {
-			it.Close()
-			return nil, err
-		}
-		nodes = append(nodes, m.Regs[p.rootAttrReg].Node())
 	}
 	if err := it.Close(); err != nil {
 		return nil, err
@@ -311,7 +354,15 @@ func (g *generator) compile(op algebra.Op) (builder, error) {
 	return func(ex *physical.Exec) physical.Iter {
 		it := b(ex)
 		if ex.WrapIter != nil {
-			it = ex.WrapIter(it)
+			w := ex.WrapIter(it)
+			if w != it {
+				// Keep the batched protocol reachable through opaque
+				// harness wrappers (Instrumented re-exposes it itself).
+				if bi, ok := it.(physical.BatchIter); ok {
+					w = physical.WrapBatched(w, bi)
+				}
+			}
+			it = w
 		}
 		if ex.Prof != nil {
 			it = &physical.Instrumented{It: it, Stat: &ex.Prof.Ops[slot], Gov: ex.Gov}
@@ -328,15 +379,19 @@ func (g *generator) compileOp(op algebra.Op) (builder, error) {
 	case *algebra.IndexScan:
 		out := g.regFor(o.Attr)
 		uri, local := indexKey(o.Test)
+		plan := g.plan
 		return func(ex *physical.Exec) physical.Iter {
-			return &physical.IndexScan{Ex: ex, OutReg: out, URI: uri, Local: local}
+			_, batch := plan.batchCol[op]
+			return &physical.IndexScan{Ex: ex, OutReg: out, URI: uri, Local: local, Batch: batch}
 		}, nil
 
 	case *algebra.VarScan:
 		out := g.regFor(o.Attr)
 		name := o.Name
+		plan := g.plan
 		return func(ex *physical.Exec) physical.Iter {
-			return &physical.VarScan{Ex: ex, Name: name, OutReg: out}
+			_, batch := plan.batchCol[op]
+			return &physical.VarScan{Ex: ex, Name: name, OutReg: out, Batch: batch}
 		}, nil
 
 	case *algebra.UnnestMap:
@@ -351,10 +406,12 @@ func (g *generator) compileOp(op algebra.Op) (builder, error) {
 			epochReg = g.regFor(o.EpochAttr)
 		}
 		axis, test := o.Axis, o.Test
+		plan := g.plan
 		return func(ex *physical.Exec) physical.Iter {
+			_, batch := plan.batchCol[op]
 			return &physical.UnnestMap{
 				Ex: ex, In: in(ex), InReg: inReg, OutReg: outReg,
-				EpochReg: epochReg, Axis: axis, Test: test,
+				EpochReg: epochReg, Axis: axis, Test: test, Batch: batch,
 			}
 		}, nil
 
@@ -368,8 +425,10 @@ func (g *generator) compileOp(op algebra.Op) (builder, error) {
 			return nil, err
 		}
 		g.plan.progs[op] = append(g.plan.progs[op], prog)
+		plan := g.plan
 		return func(ex *physical.Exec) physical.Iter {
-			return &physical.Select{Ex: ex, In: in(ex), Prog: prog}
+			col, batch := plan.batchCol[op]
+			return &physical.Select{Ex: ex, In: in(ex), Prog: prog, Batch: batch, Col: col}
 		}, nil
 
 	case *algebra.Map:
@@ -452,8 +511,10 @@ func (g *generator) compileOp(op algebra.Op) (builder, error) {
 			return nil, err
 		}
 		attrReg := g.regFor(o.Attr)
+		plan := g.plan
 		return func(ex *physical.Exec) physical.Iter {
-			return &physical.DupElim{Ex: ex, In: in(ex), AttrReg: attrReg}
+			_, batch := plan.batchCol[op]
+			return &physical.DupElim{Ex: ex, In: in(ex), AttrReg: attrReg, Batch: batch}
 		}, nil
 
 	case *algebra.Concat:
@@ -465,12 +526,14 @@ func (g *generator) compileOp(op algebra.Op) (builder, error) {
 			}
 			ins[i] = b
 		}
+		plan := g.plan
 		return func(ex *physical.Exec) physical.Iter {
 			its := make([]physical.Iter, len(ins))
 			for i, b := range ins {
 				its[i] = b(ex)
 			}
-			return &physical.Concat{Ins: its}
+			col, batch := plan.batchCol[op]
+			return &physical.Concat{Ins: its, Ex: ex, Col: col, Batch: batch}
 		}, nil
 
 	case *algebra.Rename:
@@ -489,8 +552,10 @@ func (g *generator) compileOp(op algebra.Op) (builder, error) {
 		}
 		attrReg := g.regFor(o.Attr)
 		save := g.producedRegs(o.In)
+		plan := g.plan
 		return func(ex *physical.Exec) physical.Iter {
-			return &physical.SortIter{Ex: ex, In: in(ex), AttrReg: attrReg, SaveRegs: save}
+			_, batch := plan.batchCol[op]
+			return &physical.SortIter{Ex: ex, In: in(ex), AttrReg: attrReg, SaveRegs: save, Batch: batch}
 		}, nil
 
 	case *algebra.Tokenize:

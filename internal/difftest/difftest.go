@@ -34,9 +34,15 @@ type Config struct {
 }
 
 // Configs returns the full configuration matrix: both translation modes,
-// each ablation flag in isolation, and each forward-looking extension.
+// each ablation flag in isolation, and each forward-looking extension —
+// each in its default (batched) form plus a scalar twin with the batched
+// execution protocol off, so batched and tuple-at-a-time execution diff
+// against the reference and, transitively, against each other. Two extra
+// configurations stress the batch machinery at adversarial sizes: 1 (a
+// refill per node, maximal protocol traffic) and 16 (misaligned with every
+// operator fan-out).
 func Configs() []Config {
-	return []Config{
+	base := []Config{
 		{Name: "improved", Opt: natix.Options{Mode: natix.Improved}},
 		{Name: "canonical", Opt: natix.Options{Mode: natix.Canonical}},
 		{Name: "no-dupelim-push", Opt: natix.Options{Mode: natix.Improved, DisableDupElimPush: true}},
@@ -48,6 +54,19 @@ func Configs() []Config {
 		{Name: "name-index", Opt: natix.Options{Mode: natix.Improved, EnableNameIndex: true}},
 		{Name: "seq-analysis", Opt: natix.Options{Mode: natix.Improved, EnableSequenceAnalysis: true}},
 	}
+	all := make([]Config, 0, 2*len(base)+2)
+	for _, c := range base {
+		all = append(all, c)
+		scalar := c
+		scalar.Name = c.Name + "-scalar"
+		scalar.Opt.Batch = natix.BatchOff
+		all = append(all, scalar)
+	}
+	all = append(all,
+		Config{Name: "improved-batch1", Opt: natix.Options{Mode: natix.Improved, Batch: 1}},
+		Config{Name: "improved-batch16", Opt: natix.Options{Mode: natix.Improved, Batch: 16}},
+	)
+	return all
 }
 
 // Item is one corpus entry: a query against a named document.

@@ -155,6 +155,39 @@ func (s *Stepper) Reset(doc Document, ctx NodeID) {
 	}
 }
 
+// NextBatch fills buf with the next nodes of the axis and returns how many
+// it wrote. A return of 0 means the axis is exhausted; a partial fill
+// (0 < n < len(buf)) happens only at exhaustion, so callers may treat any
+// short batch as the final one. The batched axis loop keeps the traversal
+// state in registers across len(buf) advances instead of paying the
+// per-node call boundary of Next.
+func (s *Stepper) NextBatch(buf []NodeID) int {
+	if s.done || len(buf) == 0 {
+		return 0
+	}
+	n := 0
+	if s.axis == AxisNamespace {
+		for n < len(buf) && s.nsIdx < len(s.nsNodes) {
+			buf[n] = s.nsNodes[s.nsIdx]
+			n++
+			s.nsIdx++
+		}
+		if s.nsIdx >= len(s.nsNodes) {
+			s.done = true
+		}
+		return n
+	}
+	for n < len(buf) {
+		buf[n] = s.cur
+		n++
+		s.advance()
+		if s.done {
+			break
+		}
+	}
+	return n
+}
+
 // Next returns the next node on the axis, or false when exhausted.
 func (s *Stepper) Next() (NodeID, bool) {
 	if s.done {

@@ -1,0 +1,59 @@
+package dom
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestStepperNextBatch checks that NextBatch is observationally equivalent
+// to draining Next, for every axis, every context node in the sample
+// document, and a spread of buffer sizes (including 1, which degenerates to
+// the scalar protocol, and sizes larger than any axis result).
+func TestStepperNextBatch(t *testing.T) {
+	d := mustParse(t, `<a id="1" xmlns:p="urn:p"><b id="2"><d/><e>txt</e></b><c><f><g/></f></c></a>`)
+	for axis := 0; axis < AxisCount; axis++ {
+		axis := Axis(axis)
+		for id := NodeID(1); int(id) <= d.NodeCount(); id++ {
+			want := collect(d, id, axis)
+			for _, size := range []int{1, 2, 3, 7, 64} {
+				st := NewStepper(axis)
+				st.Reset(d, id)
+				buf := make([]NodeID, size)
+				var got []NodeID
+				sawShort := false
+				for {
+					n := st.NextBatch(buf)
+					if n == 0 {
+						break
+					}
+					if sawShort {
+						t.Fatalf("%s from node %d size %d: batch after a short batch", axis, id, size)
+					}
+					if n < size {
+						sawShort = true
+					}
+					got = append(got, buf[:n]...)
+				}
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Errorf("%s from node %d size %d: NextBatch %v, Next %v", axis, id, size, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestStepperNextBatchEmptyBuf pins the degenerate contract: a zero-length
+// buffer returns 0 without consuming anything.
+func TestStepperNextBatchEmptyBuf(t *testing.T) {
+	d := mustParse(t, sampleDoc)
+	st := NewStepper(AxisDescendant)
+	st.Reset(d, findElem(d, "a"))
+	if n := st.NextBatch(nil); n != 0 {
+		t.Fatalf("NextBatch(nil) = %d", n)
+	}
+	// The stepper must still yield the full axis afterwards.
+	buf := make([]NodeID, 64)
+	if n := st.NextBatch(buf); names(d, buf[:n]) != "b d e #text c f g" {
+		t.Fatalf("after NextBatch(nil): %q", names(d, buf[:n]))
+	}
+}

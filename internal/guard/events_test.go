@@ -1,0 +1,99 @@
+package guard
+
+import (
+	"context"
+	"testing"
+)
+
+// countingFault counts slow-path polls via the fault hook: poll invokes the
+// hook exactly once per slow check, so the counter observes the governor's
+// polling cadence without touching unexported state.
+type countingFault struct{ polls int }
+
+func (c *countingFault) fn() error { c.polls++; return nil }
+
+// TestEventsPollParity checks that batched Events(n) polls the slow path
+// with the same period as n scalar Event calls — once per pollInterval
+// events, regardless of how the events are grouped into batches.
+func TestEventsPollParity(t *testing.T) {
+	const total = 10 * pollInterval
+	scalar := &countingFault{}
+	g := New(nil, Limits{}, scalar.fn)
+	for i := 0; i < total; i++ {
+		if err := g.Event(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, batch := range []int64{1, 7, 64, 256, pollInterval, 3 * pollInterval} {
+		batched := &countingFault{}
+		b := New(nil, Limits{}, batched.fn)
+		calls := 0
+		var fed int64
+		for fed < total {
+			n := batch
+			if fed+n > total {
+				n = total - fed
+			}
+			if err := b.Events(n); err != nil {
+				t.Fatal(err)
+			}
+			calls++
+			fed += n
+		}
+		// A batch of at most pollInterval polls with the scalar cadence
+		// (once per interval, within one poll of alignment slack); a batch
+		// larger than the interval always crosses a boundary, so it
+		// degrades to once per call — never less often than scalar would
+		// allow, and never more than once per batch.
+		if batch <= pollInterval {
+			if diff := batched.polls - scalar.polls; diff < -1 || diff > 1 {
+				t.Errorf("batch %d: %d polls, scalar %d", batch, batched.polls, scalar.polls)
+			}
+		} else if batched.polls != calls {
+			t.Errorf("batch %d: %d polls over %d calls", batch, batched.polls, calls)
+		}
+	}
+}
+
+// TestEventsCancellation checks that a batch large enough to cross a poll
+// boundary observes a canceled context, and that small batches detect it
+// within one pollInterval of events.
+func TestEventsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Limits{}, nil)
+	if err := g.Events(pollInterval / 2); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// One whole interval of further events must surface the cancellation.
+	var err error
+	for i := int64(0); i <= pollInterval && err == nil; i += 64 {
+		err = g.Events(64)
+	}
+	if err == nil {
+		t.Fatal("cancellation not observed within one poll interval")
+	}
+	if g.Err() == nil {
+		t.Fatal("error not sticky")
+	}
+}
+
+// TestEventsDegenerate pins the no-op cases: nil governor, zero and
+// negative counts.
+func TestEventsDegenerate(t *testing.T) {
+	var nilG *Governor
+	if err := nilG.Events(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	c := &countingFault{}
+	g := New(nil, Limits{}, c.fn)
+	if err := g.Events(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Events(-5); err != nil {
+		t.Fatal(err)
+	}
+	if c.polls != 0 {
+		t.Fatalf("degenerate Events polled %d times", c.polls)
+	}
+}

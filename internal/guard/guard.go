@@ -176,6 +176,22 @@ func (g *Governor) Event() error {
 	return g.poll()
 }
 
+// Events records n units of engine progress at once — the batched
+// counterpart of Event. The slow checks run when the batch crosses a
+// pollInterval boundary, so a batched execution polls with the same period
+// as a scalar one (once per pollInterval events), not once per batch.
+func (g *Governor) Events(n int64) error {
+	if g == nil || n <= 0 {
+		return nil
+	}
+	before := g.events
+	g.events += uint32(n)
+	if before/pollInterval == g.events/pollInterval && g.events >= before {
+		return nil
+	}
+	return g.poll()
+}
+
 // Tuples enforces MaxTuples against the engine's produced-tuple counter and
 // records one event.
 func (g *Governor) Tuples(n int64) error {

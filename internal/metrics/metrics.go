@@ -148,6 +148,58 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// ratioBuckets is the linear bucket layout of RatioHistogram: eighths of
+// the unit interval. A batch fill ratio (or any other 0..1 fraction) needs
+// linear resolution near 1.0, where the exponential latency buckets would
+// lump everything together.
+var ratioBuckets = [numRatioBuckets]float64{
+	0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1,
+}
+
+const numRatioBuckets = 8
+
+// RatioHistogram accumulates observations of a 0..1 fraction into fixed
+// linear buckets (cumulative, Prometheus-style). The zero value is ready to
+// use; methods are safe for concurrent use and nil-receiver safe.
+type RatioHistogram struct {
+	counts [numRatioBuckets + 1]atomic.Int64 // +1: +Inf (ratios > 1)
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one ratio observation.
+func (h *RatioHistogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(ratioBuckets[:], v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *RatioHistogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *RatioHistogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
 // Registry is a named collection of metrics. The zero value is unusable;
 // use NewRegistry (or the package Default).
 type Registry struct {
@@ -199,6 +251,12 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	return r.lookup(name, help, func() any { return &Histogram{} }).(*Histogram)
 }
 
+// RatioHistogram returns the ratio histogram registered under name,
+// creating it on first use.
+func (r *Registry) RatioHistogram(name, help string) *RatioHistogram {
+	return r.lookup(name, help, func() any { return &RatioHistogram{} }).(*RatioHistogram)
+}
+
 // WritePrometheus renders every metric in the Prometheus text exposition
 // format (version 0.0.4), in registration order.
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -230,6 +288,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", name, formatFloat(le), cum)
 			}
 			cum += m.counts[len(histBuckets)].Load()
+			fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			fmt.Fprintf(&sb, "%s_sum %s\n", name, formatFloat(m.Sum()))
+			fmt.Fprintf(&sb, "%s_count %d\n", name, m.Count())
+		case *RatioHistogram:
+			fmt.Fprintf(&sb, "# TYPE %s histogram\n", name)
+			cum := int64(0)
+			for i, le := range ratioBuckets {
+				cum += m.counts[i].Load()
+				fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", name, formatFloat(le), cum)
+			}
+			cum += m.counts[len(ratioBuckets)].Load()
 			fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
 			fmt.Fprintf(&sb, "%s_sum %s\n", name, formatFloat(m.Sum()))
 			fmt.Fprintf(&sb, "%s_count %d\n", name, m.Count())

@@ -22,6 +22,27 @@ type Iterator interface {
 	Close() error
 }
 
+// BatchIterator extends Iterator with the batched node-column protocol: an
+// operator whose output is a single node-valued attribute can deliver it a
+// buffer at a time, amortizing the interface dispatch, governor poll and
+// statistics update of the scalar protocol over len(buf) tuples. Open and
+// Close are shared with the scalar protocol; a consumer picks exactly one
+// of Next or NextBatch for the lifetime of an Open, never mixing them.
+type BatchIterator interface {
+	Iterator
+	// Batched reports whether this instance serves NextBatch for the
+	// current execution (the code generator marks batch-capable pipeline
+	// segments; the per-run batch size gates it). When false, only the
+	// scalar protocol may be used.
+	Batched() bool
+	// NextBatch fills buf with the next nodes of the operator's output
+	// column and returns how many it wrote. 0 with a nil error means the
+	// input is exhausted; short batches are legal at any point. Unlike
+	// Next, produced nodes are returned in the buffer and NOT written to
+	// the machine's registers.
+	NextBatch(buf []dom.Node) (int, error)
+}
+
 // OpCode enumerates the machine's instructions.
 type OpCode uint8
 

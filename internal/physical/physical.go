@@ -9,6 +9,7 @@ package physical
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"natix/internal/dom"
 	"natix/internal/guard"
@@ -60,6 +61,18 @@ type Exec struct {
 	// the instrumentation being compiled in is one nil check per iterator
 	// construction.
 	Prof *Profile
+	// BatchSize is the node-column batch size of this execution; 0 runs
+	// every operator through the scalar protocol. Operators the code
+	// generator marked batch-capable serve NextBatch when it is positive.
+	BatchSize int
+
+	// Per-execution free lists for batch buffers and axis steppers. Keyed
+	// to the Exec — never shared across concurrent runs of one Prepared —
+	// they recycle the allocations of operators that re-open under d-joins,
+	// memoized subtrees and unions.
+	nodeBufs sync.Pool
+	idBufs   sync.Pool
+	steppers [dom.AxisCount]sync.Pool
 }
 
 // Materialization cost estimates for the byte budget: a register snapshot
@@ -109,6 +122,8 @@ type VarScan struct {
 	Ex     *Exec
 	Name   string
 	OutReg int
+	// Batch marks this instance batch-capable (set by the code generator).
+	Batch bool
 
 	nodes []dom.Node
 	idx   int
@@ -155,20 +170,40 @@ type UnnestMap struct {
 	EpochReg int // -1 when unused
 	Axis     dom.Axis
 	Test     dom.NodeTest
+	// Batch marks this instance batch-capable (set by the code generator).
+	Batch bool
 
 	stepper   *dom.Stepper
 	principal dom.NodeKind
 	active    bool
 	epoch     int64
+
+	// Batched-protocol state: the input column buffer, its read cursor,
+	// the axis NodeID scratch, and the document of the active context.
+	bin          batchSource
+	inBuf        []dom.Node
+	inPos, inLen int
+	ids          []dom.NodeID
+	curDoc       dom.Document
 }
 
-// Open implements Iter.
+// Open implements Iter. The stepper and batch buffers come from the Exec's
+// per-execution pools and return to them at Close, so re-opens under deep
+// d-join nests recycle instead of reallocating.
 func (u *UnnestMap) Open() error {
 	if u.stepper == nil {
-		u.stepper = dom.NewStepper(u.Axis)
-		u.principal = u.Axis.Principal()
+		u.stepper = u.Ex.GetStepper(u.Axis)
 	}
+	u.principal = u.Axis.Principal()
 	u.active = false
+	if u.Batched() {
+		if u.inBuf == nil {
+			u.inBuf = u.Ex.GetNodeBuf()
+			u.ids = u.Ex.GetIDBuf()
+		}
+		u.bin = batchInput(u.In, u.Ex, u.InReg)
+		u.inPos, u.inLen = 0, 0
+	}
 	return u.In.Open()
 }
 
@@ -226,8 +261,22 @@ func (u *UnnestMap) Next() (bool, error) {
 	}
 }
 
-// Close implements Iter.
-func (u *UnnestMap) Close() error { return u.In.Close() }
+// Close implements Iter, returning the stepper and batch buffers to the
+// execution's pools.
+func (u *UnnestMap) Close() error {
+	if u.stepper != nil {
+		u.Ex.PutStepper(u.stepper)
+		u.stepper = nil
+	}
+	if u.inBuf != nil {
+		u.Ex.PutNodeBuf(u.inBuf)
+		u.inBuf = nil
+		u.Ex.PutIDBuf(u.ids)
+		u.ids = nil
+	}
+	u.bin = nil
+	return u.In.Close()
+}
 
 // IndexScan emits the context document's elements matching a name test in
 // document order, from the lazily built element-name index.
@@ -236,6 +285,8 @@ type IndexScan struct {
 	OutReg int
 	// URI/Local follow xfn.NameIndex conventions ("*" wildcards).
 	URI, Local string
+	// Batch marks this instance batch-capable (set by the code generator).
+	Batch bool
 
 	ids []dom.NodeID
 	idx int
@@ -270,10 +321,26 @@ type Select struct {
 	Ex   *Exec
 	In   Iter
 	Prog *nvm.Program
+	// Batch marks this instance batch-capable; Col is the node column it
+	// passes through (the only register its predicate reads). Both set by
+	// the code generator.
+	Batch bool
+	Col   int
+
+	bin batchSource
+	buf []dom.Node
 }
 
 // Open implements Iter.
-func (s *Select) Open() error { return s.In.Open() }
+func (s *Select) Open() error {
+	if s.Batched() {
+		if s.buf == nil {
+			s.buf = s.Ex.GetNodeBuf()
+		}
+		s.bin = batchInput(s.In, s.Ex, s.Col)
+	}
+	return s.In.Open()
+}
 
 // Next implements Iter.
 func (s *Select) Next() (bool, error) {
@@ -293,7 +360,14 @@ func (s *Select) Next() (bool, error) {
 }
 
 // Close implements Iter.
-func (s *Select) Close() error { return s.In.Close() }
+func (s *Select) Close() error {
+	if s.buf != nil {
+		s.Ex.PutNodeBuf(s.buf)
+		s.buf = nil
+	}
+	s.bin = nil
+	return s.In.Close()
+}
 
 // Map computes an attribute per tuple (χ). Pure attribute aliases are
 // resolved by the code generator and never reach execution.
@@ -695,9 +769,19 @@ type DupElim struct {
 	Ex      *Exec
 	In      Iter
 	AttrReg int
+	// Batch marks this instance batch-capable (set by the code generator).
+	Batch bool
 
 	seen    map[any]struct{}
 	charged int64
+
+	// Batched-protocol state: a typed node-identity set (no per-tuple
+	// interface boxing) and a one-entry DocID cache.
+	bin       batchSource
+	buf       []dom.Node
+	nseen     map[nodeIdent]struct{}
+	lastDoc   dom.Document
+	lastDocID uint64
 }
 
 // keyBytes is the approximate cost of one dedup/hash-table key.
@@ -705,13 +789,26 @@ const keyBytes = 48
 
 // Open implements Iter.
 func (d *DupElim) Open() error {
+	d.Ex.Gov.Release(d.charged)
+	d.charged = 0
+	if d.Batched() {
+		if d.nseen == nil {
+			d.nseen = make(map[nodeIdent]struct{})
+		} else {
+			clear(d.nseen)
+		}
+		if d.buf == nil {
+			d.buf = d.Ex.GetNodeBuf()
+		}
+		d.bin = batchInput(d.In, d.Ex, d.AttrReg)
+		d.lastDoc = nil
+		return d.In.Open()
+	}
 	if d.seen == nil {
 		d.seen = make(map[any]struct{})
 	} else {
 		clear(d.seen)
 	}
-	d.Ex.Gov.Release(d.charged)
-	d.charged = 0
 	return d.In.Open()
 }
 
@@ -737,21 +834,36 @@ func (d *DupElim) Next() (bool, error) {
 }
 
 // Close implements Iter.
-func (d *DupElim) Close() error { return d.In.Close() }
+func (d *DupElim) Close() error {
+	if d.buf != nil {
+		d.Ex.PutNodeBuf(d.buf)
+		d.buf = nil
+	}
+	d.bin = nil
+	return d.In.Close()
+}
 
 // Concat is ⊕: inputs in order. All inputs write the same output register
 // (attribute aliasing by the code generator).
 type Concat struct {
 	Ins []Iter
+	// Ex, Col and Batch support the batched protocol: Col is the shared
+	// output column every input is renamed to. Hand-built plans may leave
+	// them zero (scalar protocol only).
+	Ex    *Exec
+	Col   int
+	Batch bool
 
 	idx    int
 	opened bool
+	cur    batchSource
 }
 
 // Open implements Iter.
 func (c *Concat) Open() error {
 	c.idx = 0
 	c.opened = false
+	c.cur = nil
 	return nil
 }
 
@@ -796,10 +908,16 @@ type SortIter struct {
 	In       Iter
 	AttrReg  int
 	SaveRegs []int
+	// Batch marks this instance batch-capable (set by the code generator
+	// when downstream provably reads only the node column, so the batched
+	// variant materializes one column instead of full register snapshots).
+	Batch bool
 
 	rows    []row
 	idx     int
 	charged int64
+
+	nodes []dom.Node
 }
 
 // Open implements Iter. The input is fully materialized here; on any error
@@ -809,7 +927,11 @@ func (s *SortIter) Open() error {
 	s.Ex.Gov.Release(s.charged)
 	s.charged = 0
 	s.rows = s.rows[:0]
+	s.nodes = s.nodes[:0]
 	s.idx = 0
+	if s.Batched() {
+		return s.openBatched()
+	}
 	if err := s.In.Open(); err != nil {
 		return err
 	}

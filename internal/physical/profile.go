@@ -3,6 +3,7 @@ package physical
 import (
 	"time"
 
+	"natix/internal/dom"
 	"natix/internal/guard"
 	"natix/internal/nvm"
 )
@@ -66,6 +67,26 @@ func (i *Instrumented) Next() (bool, error) {
 		i.Stat.Out++
 	}
 	return ok, err
+}
+
+// Batched implements BatchIter, so instrumentation never demotes a batched
+// pipeline to scalar.
+func (i *Instrumented) Batched() bool {
+	bi, ok := i.It.(BatchIter)
+	return ok && bi.Batched()
+}
+
+// NextBatch implements BatchIter with the same accounting as Next: every
+// node of the batch counts as one produced tuple.
+func (i *Instrumented) NextBatch(buf []dom.Node) (int, error) {
+	bi := i.It.(BatchIter)
+	b0 := i.Gov.Bytes()
+	t0 := time.Now()
+	n, err := bi.NextBatch(buf)
+	i.Stat.Time += time.Since(t0)
+	i.Stat.Bytes += i.Gov.Bytes() - b0
+	i.Stat.Out += int64(n)
+	return n, err
 }
 
 // Close implements Iter.

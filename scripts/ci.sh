@@ -31,6 +31,12 @@ go test -race ./...
 # regular (non-short) go test above as well.
 go test -short -run TestMatrix ./internal/difftest/
 
+# Perf guard: the batched execution protocol (the default) must not be
+# slower than the scalar protocol on the Fig. 5 hot chains. Best-of-5
+# timing per query; the test is opt-in via NATIX_PERF_GUARD because it is
+# timing-sensitive.
+NATIX_PERF_GUARD=1 go test -run TestBatchSpeedupGuard -timeout 20m .
+
 # Plan-cache guard: a cache hit must return the identical compiled artifact
 # (pointer identity — no parse/translate/codegen on the hit path), and the
 # benchmark pair quantifies the cold/hot gap.
