@@ -29,6 +29,7 @@ import (
 
 	"natix"
 	"natix/internal/catalog"
+	"natix/internal/chaos"
 	"natix/internal/metrics"
 	"natix/internal/plancache"
 	"natix/internal/server"
@@ -94,6 +95,7 @@ func main() {
 	bufPages := flag.Int("buffer", 0, "store buffer capacity in pages per handle (0 = default)")
 	enableMetrics := flag.Bool("metrics", true, "collect engine metrics (served at /metrics either way)")
 	debugAddr := flag.String("debug-addr", "", "also serve /metrics and /debug/pprof on this address")
+	chaosSpec := flag.String("chaos", "", "fault-injection plan for soak runs, e.g. seed=42,http_latency=0.2:5ms,http_drop=0.05,http_503=0.05,read=0.02,reload_open=0.1 (NEVER in production)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: natix-serve [flags] name=path [name=path ...]\n")
 		flag.PrintDefaults()
@@ -103,7 +105,7 @@ func main() {
 	if err := run(*addr, *workers, *queue, *timeout, *maxTimeout,
 		natix.Limits{MaxBytes: *maxMem, MaxTuples: *maxTuples, MaxSteps: *maxSteps},
 		*cacheEntries, *cacheBytes, *maxNodes, *bufPages,
-		*enableMetrics, *debugAddr, flag.Args()); err != nil {
+		*enableMetrics, *debugAddr, *chaosSpec, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "natix-serve:", err)
 		os.Exit(1)
 	}
@@ -111,7 +113,7 @@ func main() {
 
 func run(addr string, workers, queue int, timeout, maxTimeout time.Duration,
 	limits natix.Limits, cacheEntries int, cacheBytes int64, maxNodes, bufPages int,
-	enableMetrics bool, debugAddr string, args []string) error {
+	enableMetrics bool, debugAddr, chaosSpec string, args []string) error {
 
 	specs, err := parseDocSpecs(args)
 	if err != nil {
@@ -127,9 +129,23 @@ func run(addr string, workers, queue int, timeout, maxTimeout time.Duration,
 		}
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/metrics\n", dbg)
 	}
+	var plan *chaos.Plan
+	if chaosSpec != "" {
+		plan, err = chaos.Parse(chaosSpec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "natix-serve: CHAOS PLAN ACTIVE (seed %d): %s\n", plan.Seed(), chaosSpec)
+	}
 
 	cat := catalog.New()
 	defer cat.CloseAll()
+	if plan != nil {
+		// Every layer the plan can reach: store page reads on every
+		// handle, reload failure points, and (below) the HTTP surface.
+		cat.OpenHook = plan.OpenStore
+		cat.ReloadHook = plan.ReloadHook()
+	}
 	if err := openAll(cat, specs, bufPages); err != nil {
 		return err
 	}
@@ -153,7 +169,11 @@ func run(addr string, workers, queue int, timeout, maxTimeout time.Duration,
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	handler := svc.Handler()
+	if plan != nil {
+		handler = plan.Middleware(handler)
+	}
+	httpSrv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 	// The smoke harness greps for this line; keep it on stdout and stable.

@@ -3,8 +3,11 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
+	"natix"
 	"natix/internal/catalog"
 	"natix/internal/dom"
 	"natix/internal/store"
@@ -28,6 +31,25 @@ func TestParseDocSpecs(t *testing.T) {
 		if _, err := parseDocSpecs(bad); err == nil {
 			t.Errorf("parseDocSpecs(%q) accepted", bad)
 		}
+	}
+}
+
+func TestRunRejectsBadChaosSpec(t *testing.T) {
+	// A malformed -chaos spec must fail startup, before anything listens:
+	// a typo silently no-opping would invalidate a whole soak run.
+	dir := t.TempDir()
+	xmlPath := filepath.Join(dir, "doc.xml")
+	if err := os.WriteFile(xmlPath, []byte("<r/>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run("127.0.0.1:0", 1, 1, time.Second, time.Second,
+		natix.Limits{}, 8, 1<<20, 0, 0,
+		false, "", "http_latncy=0.2", []string{"d=" + xmlPath})
+	if err == nil {
+		t.Fatal("bad chaos spec accepted")
+	}
+	if !strings.Contains(err.Error(), "http_latncy") {
+		t.Fatalf("error %v does not name the bad site", err)
 	}
 }
 

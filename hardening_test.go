@@ -202,7 +202,7 @@ func TestStoreFaultFailsRun(t *testing.T) {
 	q := MustCompile("//e[@id mod 5 = 0]/ancestor::*")
 
 	// Let a few page reads through, then fail the medium.
-	fr.FailAfter = 3
+	fr.SetFailAfter(3)
 	res, err, lt := trackedRun(q, context.Background(), RootNode(d), nil)
 	if err == nil {
 		t.Fatalf("faulted run reported success: %d nodes", len(res.Value.Nodes))

@@ -13,6 +13,7 @@
 package catalog
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -93,11 +94,56 @@ type entry struct {
 	old     []*generation
 }
 
+// ReloadPoint names one step of Reload, for fault injection.
+type ReloadPoint string
+
+// The reload points, in execution order.
+const (
+	// ReloadOpen: before the backing file is opened/read.
+	ReloadOpen ReloadPoint = "open"
+	// ReloadLoad: after the new generation loaded, before installation —
+	// an error here must drop the loaded generation without leaking
+	// handles and leave the previous generation serving.
+	ReloadLoad ReloadPoint = "load"
+	// ReloadInstall: under the entry lock, immediately before the live
+	// generation is swapped.
+	ReloadInstall ReloadPoint = "install"
+)
+
 // Catalog is a concurrent-safe named document collection. The zero value is
 // unusable; use New.
 type Catalog struct {
 	mu   sync.Mutex
 	docs map[string]*entry
+
+	// ReloadHook, when non-nil, is consulted at each named point of every
+	// Reload; a non-nil return is injected as that step's failure. Chaos
+	// tests use it to prove a failed reload leaves the previous generation
+	// serving with balanced refcounts. Set before serving traffic.
+	ReloadHook func(name string, point ReloadPoint) error
+
+	// OpenHook, when non-nil, replaces store.Open for store-backed handles
+	// (initial open, pool misses and reloads) — chaos tests wrap the file
+	// in a store.FaultReader. Set before serving traffic.
+	OpenHook func(path string, opt store.Options) (*store.Doc, error)
+}
+
+// openStore opens a store handle through OpenHook when set.
+func (c *Catalog) openStore(path string, opt store.Options) (*store.Doc, error) {
+	if c.OpenHook != nil {
+		return c.OpenHook(path, opt)
+	}
+	return store.Open(path, opt)
+}
+
+// reloadAt runs the reload fault hook for one point.
+func (c *Catalog) reloadAt(name string, p ReloadPoint) error {
+	if c.ReloadHook != nil {
+		if err := c.ReloadHook(name, p); err != nil {
+			return fmt.Errorf("catalog: reload %q at %s: %w", name, p, err)
+		}
+	}
+	return nil
 }
 
 // New returns an empty catalog.
@@ -201,7 +247,7 @@ func (c *Catalog) OpenMemDoc(name string, d *dom.MemDoc) error {
 // handle is opened eagerly to validate the file; further handles open on
 // demand as concurrent queries check them out.
 func (c *Catalog) OpenStore(name, path string, opt store.Options) error {
-	sd, err := store.Open(path, opt)
+	sd, err := c.openStore(path, opt)
 	if err != nil {
 		return err
 	}
@@ -214,13 +260,18 @@ func (c *Catalog) OpenStore(name, path string, opt store.Options) error {
 	return nil
 }
 
+// ErrUnknown is wrapped by every lookup of an unregistered name, so
+// callers can tell "no such document" from "document exists but its store
+// failed" with errors.Is.
+var ErrUnknown = errors.New("unknown document")
+
 // lookup finds the entry for name.
 func (c *Catalog) lookup(name string) (*entry, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.docs[name]
 	if !ok {
-		return nil, fmt.Errorf("catalog: unknown document %q", name)
+		return nil, fmt.Errorf("catalog: %w %q", ErrUnknown, name)
 	}
 	return e, nil
 }
@@ -243,7 +294,7 @@ func (c *Catalog) Acquire(name string) (*Handle, error) {
 			h.sd = g.pool[n-1]
 			g.pool = g.pool[:n-1]
 		} else {
-			sd, err := store.Open(g.path, g.opt)
+			sd, err := c.openStore(g.path, g.opt)
 			if err != nil {
 				return nil, err
 			}
@@ -294,6 +345,9 @@ func (c *Catalog) Reload(name string) (uint64, error) {
 	if path == "" {
 		return 0, fmt.Errorf("catalog: document %q has no backing path to reload", name)
 	}
+	if err := c.reloadAt(name, ReloadOpen); err != nil {
+		return 0, err
+	}
 	next := &generation{path: path, opt: opt}
 	switch backend {
 	case Mem:
@@ -309,7 +363,7 @@ func (c *Catalog) Reload(name string) (uint64, error) {
 		next.mem = d
 		next.nodes = d.NodeCount()
 	case Store:
-		sd, err := store.Open(path, opt)
+		sd, err := c.openStore(path, opt)
 		if err != nil {
 			return 0, fmt.Errorf("catalog: reload %q: %w", name, err)
 		}
@@ -317,9 +371,17 @@ func (c *Catalog) Reload(name string) (uint64, error) {
 		next.pool = []*store.Doc{sd}
 		next.nodes = sd.NodeCount()
 	}
+	if err := c.reloadAt(name, ReloadLoad); err != nil {
+		next.closeAll()
+		return 0, err
+	}
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := c.reloadAt(name, ReloadInstall); err != nil {
+		next.closeAll()
+		return 0, err
+	}
 	if e.live.gen != oldGen {
 		// A concurrent reload won; drop our freshly loaded generation.
 		next.closeAll()

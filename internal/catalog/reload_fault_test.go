@@ -1,0 +1,266 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"natix/internal/dom"
+	"natix/internal/store"
+)
+
+// snapshotRefs reads the live generation's refcount and retired count.
+func snapshotRefs(t *testing.T, c *Catalog, name string) (gen uint64, refs, retired int) {
+	t.Helper()
+	for _, info := range c.List() {
+		if info.Name == name {
+			return info.Generation, info.Refs, info.Retired
+		}
+	}
+	t.Fatalf("document %q not listed", name)
+	return 0, 0, 0
+}
+
+// TestReloadFaultLeavesOldGenerationServing injects an error at each reload
+// point, with queries in flight, and asserts: Reload reports the failure,
+// the previous generation keeps serving (same generation number, same
+// bytes), refcounts stay balanced, and nothing is unmapped under the
+// running queries.
+func TestReloadFaultLeavesOldGenerationServing(t *testing.T) {
+	boom := errors.New("boom")
+	for _, backend := range []Backend{Mem, Store} {
+		for _, point := range []ReloadPoint{ReloadOpen, ReloadLoad, ReloadInstall} {
+			t.Run(fmt.Sprintf("%s/%s", backend, point), func(t *testing.T) {
+				var path string
+				c := New()
+				if backend == Mem {
+					path = writeXMLFile(t, "<r><x>old</x></r>")
+					if err := c.OpenMemFile("d", path); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					path = writeStoreFile(t, "<r><x>old</x></r>")
+					if err := c.OpenStore("d", path, store.Options{}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				c.ReloadHook = func(name string, p ReloadPoint) error {
+					if p == point {
+						return boom
+					}
+					return nil
+				}
+
+				// A query in flight across the failed reload.
+				h, err := c.Acquire("d")
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if _, err := c.Reload("d"); !errors.Is(err, boom) {
+					t.Fatalf("reload err = %v, want injected boom", err)
+				}
+
+				gen, refs, retired := snapshotRefs(t, c, "d")
+				if gen != 1 {
+					t.Errorf("generation advanced to %d after failed reload", gen)
+				}
+				if refs != 1 || retired != 0 {
+					t.Errorf("refs=%d retired=%d after failed reload, want 1/0", refs, retired)
+				}
+
+				// The pinned handle still reads the old bytes (no unmap
+				// under a running query).
+				if got := h.Doc.StringValue(h.Doc.Root()); got != "old" {
+					t.Errorf("in-flight handle reads %q after failed reload", got)
+				}
+				if sd, ok := h.Doc.(*store.Doc); ok && sd.Err() != nil {
+					t.Errorf("in-flight store handle faulted: %v", sd.Err())
+				}
+				h.Release()
+
+				// New acquires keep working on the old generation, and a
+				// hook-free reload succeeds afterwards.
+				c.ReloadHook = nil
+				h2, err := c.Acquire("d")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if h2.Generation != 1 {
+					t.Errorf("post-failure acquire got generation %d", h2.Generation)
+				}
+				h2.Release()
+				if gen, err := c.Reload("d"); err != nil || gen != 2 {
+					t.Fatalf("recovery reload: gen=%d err=%v", gen, err)
+				}
+				if _, refs, retired := snapshotRefs(t, c, "d"); refs != 0 || retired != 0 {
+					t.Errorf("refs=%d retired=%d after recovery reload, want 0/0", refs, retired)
+				}
+				c.CloseAll()
+			})
+		}
+	}
+}
+
+// TestReloadFaultUnderConcurrentQueries hammers Acquire/Release from eight
+// goroutines while reloads keep failing at alternating points; refcounts
+// must balance to zero at the end and no handle may ever observe torn
+// state. Run under -race.
+func TestReloadFaultUnderConcurrentQueries(t *testing.T) {
+	path := writeStoreFile(t, "<r><x>old</x></r>")
+	c := New()
+	if err := c.OpenStore("d", path, store.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	var n int
+	var mu sync.Mutex
+	c.ReloadHook = func(name string, p ReloadPoint) error {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		if n%2 == 0 {
+			return boom
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h, err := c.Acquire("d")
+				if err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				root := h.Doc.Root()
+				if got := h.Doc.StringValue(root); got != "old" {
+					t.Errorf("read %q", got)
+				}
+				h.Release()
+			}
+		}()
+	}
+	for i := 0; i < 40; i++ {
+		_, err := c.Reload("d")
+		if err != nil && !errors.Is(err, boom) {
+			t.Fatalf("reload: %v", err)
+		}
+	}
+	wg.Wait()
+	if _, refs, retired := snapshotRefs(t, c, "d"); refs != 0 || retired != 0 {
+		t.Fatalf("refs=%d retired=%d after drain, want 0/0", refs, retired)
+	}
+	c.CloseAll()
+}
+
+// TestReloadOpenIOError injects a real I/O failure (the backing file
+// vanishes) instead of a hook error: the previous generation must keep
+// serving.
+func TestReloadOpenIOError(t *testing.T) {
+	path := writeXMLFile(t, "<r><x>old</x></r>")
+	c := New()
+	if err := c.OpenMemFile("d", path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Reload("d"); err == nil {
+		t.Fatal("reload of a vanished file succeeded")
+	}
+	h, err := c.Acquire("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Generation != 1 {
+		t.Errorf("generation = %d", h.Generation)
+	}
+	if got := h.Doc.StringValue(h.Doc.Root()); got != "old" {
+		t.Errorf("read %q after failed reload", got)
+	}
+	h.Release()
+	c.CloseAll()
+}
+
+// TestReplaceFileAtomic checks the write-aside/rename helper: the
+// destination always holds a complete image, an open descriptor on the old
+// inode keeps its bytes, and injected failures leave no temp litter.
+func TestReplaceFileAtomic(t *testing.T) {
+	path := writeStoreFile(t, "<r><x>old</x></r>")
+	oldDoc, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oldDoc.Close()
+
+	newMem, err := dom.ParseString("<r><x>new</x><y>grown</y></r>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var img writerBuf
+	if err := store.WriteTo(&img, newMem); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReplaceFile(path, img.b, nil); err != nil {
+		t.Fatal(err)
+	}
+	// New opens see the new image.
+	nd, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	if nd.NodeCount() == oldDoc.NodeCount() {
+		t.Error("replacement not visible to a fresh open")
+	}
+	// The old handle still reads the old inode.
+	if got := oldDoc.StringValue(oldDoc.Root()); got != "old" {
+		t.Errorf("old handle reads %q after replace", got)
+	}
+	if oldDoc.Err() != nil {
+		t.Errorf("old handle faulted: %v", oldDoc.Err())
+	}
+
+	// Injected failure at each point: destination untouched, no temp files.
+	boom := errors.New("boom")
+	for _, p := range []ReplacePoint{ReplaceTempWrite, ReplaceTempSync, ReplaceRename} {
+		inject := p
+		err := ReplaceFile(path, []byte("garbage"), func(q ReplacePoint) error {
+			if q == inject {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("%s: err = %v, want boom", p, err)
+		}
+		if d, err := store.Open(path, store.Options{}); err != nil {
+			t.Fatalf("%s: destination damaged: %v", p, err)
+		} else {
+			d.Close()
+		}
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "doc.natix" {
+			t.Errorf("leftover file %q after failed replaces", e.Name())
+		}
+	}
+}
+
+// writerBuf is a minimal io.Writer over a byte slice.
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

@@ -1,0 +1,86 @@
+package catalog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ReplacePoint names one step of ReplaceFile, for crash injection.
+type ReplacePoint string
+
+// The replacement points, in execution order.
+const (
+	// ReplaceTempWrite: before the new content is written to the
+	// temporary file.
+	ReplaceTempWrite ReplacePoint = "temp_write"
+	// ReplaceTempSync: after the write, before the temporary file's fsync.
+	ReplaceTempSync ReplacePoint = "temp_sync"
+	// ReplaceRename: before the atomic rename over the destination.
+	ReplaceRename ReplacePoint = "rename"
+	// ReplaceDirSync: after the rename, before the directory fsync that
+	// makes it durable.
+	ReplaceDirSync ReplacePoint = "dir_sync"
+)
+
+// ReplaceFile atomically replaces the file at path with data: write aside
+// to a temporary file in the same directory, fsync it, rename it over path,
+// fsync the directory. This is the reload contract of the catalog — open
+// descriptors on the old inode (pinned generations mid-query) keep reading
+// the old bytes, and a crash at any point leaves either the complete old
+// file or the complete new one, never a torn mix.
+//
+// hook, when non-nil, runs at each named point; crash tests SIGKILL the
+// process inside it. A non-nil return is injected as that step's failure
+// (the temporary file is removed).
+func ReplaceFile(path string, data []byte, hook func(p ReplacePoint) error) error {
+	at := func(p ReplacePoint) error {
+		if hook != nil {
+			return hook(p)
+		}
+		return nil
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("catalog: replace %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("catalog: replace %s: %w", path, err)
+	}
+	if err := at(ReplaceTempWrite); err != nil {
+		return fail(err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := at(ReplaceTempSync); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("catalog: replace %s: %w", path, err)
+	}
+	if err := at(ReplaceRename); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("catalog: replace %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("catalog: replace %s: %w", path, err)
+	}
+	if err := at(ReplaceDirSync); err != nil {
+		return fmt.Errorf("catalog: replace %s: %w", path, err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+// Package chaos is the deterministic fault-injection framework of the
+// serving layer: one seedable Plan holds per-site injection rates and
+// composes adapters for every failure point the stack exposes — store page
+// reads (store.FaultReader), the updater's commit pipeline
+// (store.CommitHooks: write/fsync failures and torn WAL appends), catalog
+// reloads (catalog.ReloadHook), and HTTP-level latency / connection-drop /
+// 503 faults (Middleware). Tests build Plans programmatically; cmd/natix-serve
+// activates one from a -chaos spec string for soak runs.
+//
+// Determinism: all draws come from one math/rand source seeded explicitly,
+// serialized under a mutex — the same seed and the same sequence of Trip
+// calls inject the same faults. (Concurrent callers interleave
+// nondeterministically, but per-site rates still hold exactly in
+// expectation and every injection is counted.)
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"natix/internal/catalog"
+	"natix/internal/metrics"
+	"natix/internal/store"
+)
+
+// mInjected counts injected faults by site, on the default registry.
+var mInjected = metrics.Default.CounterVec("natix_chaos_injected_total",
+	"Faults injected by the chaos plan, by injection site.", "site")
+
+// ErrInjected is the base error of every chaos-injected failure.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// The injection sites a Plan understands. Rates are probabilities in
+// [0, 1]; unknown sites in a spec are rejected so typos never silently
+// disable a fault.
+const (
+	// SiteRead fails store page reads (FaultReader composition).
+	SiteRead = "read"
+	// SiteTornWAL tears the WAL append: the commit image is truncated to a
+	// random strict prefix, as a crash mid-append would leave it.
+	SiteTornWAL = "torn_wal"
+	// SiteWALSync / SiteStoreSync / SitePageWrite / SiteCheckpoint fail
+	// the corresponding step of the updater's commit pipeline.
+	SiteWALSync    = "wal_sync"
+	SitePageWrite  = "page_write"
+	SiteStoreSync  = "store_sync"
+	SiteCheckpoint = "checkpoint"
+	// SiteReloadOpen / SiteReloadLoad / SiteReloadInstall fail catalog
+	// reloads at the corresponding point.
+	SiteReloadOpen    = "reload_open"
+	SiteReloadLoad    = "reload_load"
+	SiteReloadInstall = "reload_install"
+	// SiteHTTPLatency delays a request by the plan's latency (spec arg,
+	// default 5ms). SiteHTTPDrop severs the connection without a
+	// response. SiteHTTP503 answers a structured injected-fault 503.
+	SiteHTTPLatency = "http_latency"
+	SiteHTTPDrop    = "http_drop"
+	SiteHTTP503     = "http_503"
+)
+
+var knownSites = map[string]bool{
+	SiteRead: true, SiteTornWAL: true, SiteWALSync: true, SitePageWrite: true,
+	SiteStoreSync: true, SiteCheckpoint: true,
+	SiteReloadOpen: true, SiteReloadLoad: true, SiteReloadInstall: true,
+	SiteHTTPLatency: true, SiteHTTPDrop: true, SiteHTTP503: true,
+}
+
+// Plan is one seeded fault schedule. The zero value injects nothing; use
+// New or Parse. Safe for concurrent use.
+type Plan struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rates    map[string]float64
+	injected map[string]int64
+	latency  time.Duration
+	seed     int64
+}
+
+// New returns an empty plan drawing from the given seed.
+func New(seed int64) *Plan {
+	return &Plan{
+		rng:      rand.New(rand.NewSource(seed)),
+		rates:    map[string]float64{},
+		injected: map[string]int64{},
+		latency:  5 * time.Millisecond,
+		seed:     seed,
+	}
+}
+
+// Parse builds a plan from a spec string: comma-separated site=rate[:arg]
+// fields plus an optional seed=N field (default 1).
+//
+//	seed=42,http_latency=0.2:5ms,http_drop=0.05,http_503=0.05,read=0.1
+func Parse(spec string) (*Plan, error) {
+	seed := int64(1)
+	type entry struct {
+		site string
+		rate float64
+		arg  string
+	}
+	var entries []entry
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: bad field %q: want site=rate[:arg]", field)
+		}
+		if name == "seed" {
+			s, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad seed %q: %w", val, err)
+			}
+			seed = s
+			continue
+		}
+		rateStr, arg, _ := strings.Cut(val, ":")
+		rate, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return nil, fmt.Errorf("chaos: bad rate %q for site %q: want a probability in [0,1]", rateStr, name)
+		}
+		if !knownSites[name] {
+			return nil, fmt.Errorf("chaos: unknown site %q", name)
+		}
+		entries = append(entries, entry{site: name, rate: rate, arg: arg})
+	}
+	p := New(seed)
+	for _, e := range entries {
+		p.Set(e.site, e.rate)
+		if e.site == SiteHTTPLatency && e.arg != "" {
+			d, err := time.ParseDuration(e.arg)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad latency %q: %w", e.arg, err)
+			}
+			p.SetLatency(d)
+		}
+	}
+	return p, nil
+}
+
+// Set assigns an injection rate to a site.
+func (p *Plan) Set(site string, rate float64) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rates[site] = rate
+	return p
+}
+
+// SetLatency sets the delay SiteHTTPLatency injects.
+func (p *Plan) SetLatency(d time.Duration) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.latency = d
+	return p
+}
+
+// Seed returns the plan's seed (soak logs record it for reproduction).
+func (p *Plan) Seed() int64 { return p.seed }
+
+// Latency returns the delay SiteHTTPLatency injects.
+func (p *Plan) Latency() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.latency
+}
+
+// Injected returns how many faults the plan injected at site.
+func (p *Plan) Injected(site string) int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected[site]
+}
+
+// InjectedTotal returns how many faults the plan injected across all sites.
+func (p *Plan) InjectedTotal() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var sum int64
+	for _, n := range p.injected {
+		sum += n
+	}
+	return sum
+}
+
+// Trip draws once for site and reports whether to inject, counting the
+// injection. Nil-receiver safe (never trips), so adapters can be wired
+// unconditionally.
+func (p *Plan) Trip(site string) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rate := p.rates[site]
+	if rate <= 0 || p.rng.Float64() >= rate {
+		return false
+	}
+	p.injected[site]++
+	if metrics.Enabled() {
+		mInjected.With(site).Inc()
+	}
+	return true
+}
+
+// intn draws a bounded int from the plan's source.
+func (p *Plan) intn(n int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Intn(n)
+}
+
+// Err draws once for site and returns the injected error, nil when the
+// draw passes.
+func (p *Plan) Err(site string) error {
+	if p.Trip(site) {
+		return fmt.Errorf("%w at %s", ErrInjected, site)
+	}
+	return nil
+}
+
+// ReadFail is a store.FaultReader.Fail hook drawing on SiteRead.
+func (p *Plan) ReadFail(off int64, length int) error {
+	return p.Err(SiteRead)
+}
+
+// OpenStore opens a store file through a FaultReader driven by the plan's
+// SiteRead rate; install it as catalog.Catalog.OpenHook to make every
+// served store handle chaos-prone.
+func (p *Plan) OpenStore(path string, opt store.Options) (*store.Doc, error) {
+	d, _, err := store.OpenFaulty(path, opt, p.ReadFail)
+	return d, err
+}
+
+// CommitHooks returns updater hooks injecting the plan's commit-pipeline
+// faults: torn WAL appends (SiteTornWAL tears the image at a random point)
+// and write/fsync failures at the named points.
+func (p *Plan) CommitHooks() *store.CommitHooks {
+	return &store.CommitHooks{
+		OnPoint: func(pt store.CommitPoint) error {
+			switch pt {
+			case store.PointWALSync:
+				return p.Err(SiteWALSync)
+			case store.PointPageWrite:
+				return p.Err(SitePageWrite)
+			case store.PointStoreSync:
+				return p.Err(SiteStoreSync)
+			case store.PointCheckpoint:
+				return p.Err(SiteCheckpoint)
+			}
+			return nil
+		},
+		TrimWAL: func(payload []byte) []byte {
+			if !p.Trip(SiteTornWAL) || len(payload) == 0 {
+				return payload
+			}
+			return payload[:p.intn(len(payload))]
+		},
+	}
+}
+
+// ReloadHook returns a catalog reload hook injecting the plan's reload
+// faults at the three reload points.
+func (p *Plan) ReloadHook() func(name string, point catalog.ReloadPoint) error {
+	return func(name string, point catalog.ReloadPoint) error {
+		switch point {
+		case catalog.ReloadOpen:
+			return p.Err(SiteReloadOpen)
+		case catalog.ReloadLoad:
+			return p.Err(SiteReloadLoad)
+		case catalog.ReloadInstall:
+			return p.Err(SiteReloadInstall)
+		}
+		return nil
+	}
+}
+
+// Middleware wraps an HTTP handler with the plan's transport faults, drawn
+// per request in a fixed order: latency first (delays still answer), then
+// connection drop, then injected 503. The 503 body is the service's error
+// envelope with code "injected_fault" and a retry_after_ms hint, so
+// retrying clients exercise their full backoff path.
+func (p *Plan) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if p.Trip(SiteHTTPLatency) {
+			time.Sleep(p.Latency())
+		}
+		if p.Trip(SiteHTTPDrop) {
+			// ErrAbortHandler severs the connection without a response:
+			// the client sees io.EOF / ECONNRESET, the transport-error
+			// retry path.
+			panic(http.ErrAbortHandler)
+		}
+		if p.Trip(SiteHTTP503) {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			// The envelope hint is deliberately much shorter than the
+			// coarse header: clients that parse the envelope retry fast,
+			// clients that only read the header stay correct.
+			fmt.Fprint(w, `{"error":{"code":"injected_fault","message":"chaos: injected 503","retry_after_ms":10}}`+"\n")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

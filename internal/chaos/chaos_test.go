@@ -1,0 +1,233 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"natix/internal/catalog"
+	"natix/internal/store"
+)
+
+func TestParseSpec(t *testing.T) {
+	p, err := Parse("seed=42, http_latency=0.25:7ms, http_drop=0.05, read=0.1,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed() != 42 {
+		t.Errorf("seed = %d", p.Seed())
+	}
+	if p.Latency() != 7*time.Millisecond {
+		t.Errorf("latency = %v", p.Latency())
+	}
+	if p.rates[SiteHTTPLatency] != 0.25 || p.rates[SiteHTTPDrop] != 0.05 || p.rates[SiteRead] != 0.1 {
+		t.Errorf("rates = %v", p.rates)
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"read",                  // no '='
+		"tyop=0.1",              // unknown site: typos must not silently no-op
+		"read=1.5",              // rate out of range
+		"read=-0.1",             // negative rate
+		"read=x",                // not a number
+		"seed=abc",              // bad seed
+		"http_latency=0.1:lots", // bad duration arg
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestDeterministicInjection(t *testing.T) {
+	run := func() []bool {
+		p := New(7)
+		p.Set(SiteRead, 0.3)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = p.Trip(SiteRead)
+		}
+		return out
+	}
+	a, b := run(), run()
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged between identical seeds", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("rate 0.3 injected %d/%d", hits, len(a))
+	}
+	if got := New(7).Set(SiteRead, 0.3).Injected(SiteRead); got != 0 {
+		t.Errorf("fresh plan reports %d injections", got)
+	}
+}
+
+func TestInjectionCounting(t *testing.T) {
+	p := New(1)
+	p.Set(SiteRead, 1) // always trips
+	p.Set(SiteWALSync, 1)
+	for i := 0; i < 5; i++ {
+		if err := p.Err(SiteRead); !errors.Is(err, ErrInjected) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if err := p.Err(SiteWALSync); err == nil {
+		t.Fatal("wal_sync at rate 1 did not trip")
+	}
+	if p.Injected(SiteRead) != 5 || p.Injected(SiteWALSync) != 1 || p.InjectedTotal() != 6 {
+		t.Fatalf("counts: read=%d wal_sync=%d total=%d",
+			p.Injected(SiteRead), p.Injected(SiteWALSync), p.InjectedTotal())
+	}
+	var nilPlan *Plan
+	if nilPlan.Trip(SiteRead) || nilPlan.InjectedTotal() != 0 {
+		t.Fatal("nil plan injected")
+	}
+}
+
+func TestCommitHooksMapSites(t *testing.T) {
+	p := New(1)
+	for site, point := range map[string]store.CommitPoint{
+		SiteWALSync:    store.PointWALSync,
+		SitePageWrite:  store.PointPageWrite,
+		SiteStoreSync:  store.PointStoreSync,
+		SiteCheckpoint: store.PointCheckpoint,
+	} {
+		p.rates = map[string]float64{site: 1}
+		h := p.CommitHooks()
+		if err := h.OnPoint(point); !errors.Is(err, ErrInjected) {
+			t.Errorf("%s: err = %v", site, err)
+		}
+		// Other points pass.
+		if err := h.OnPoint(store.PointWALWrite); err != nil {
+			t.Errorf("%s: wal_write tripped: %v", site, err)
+		}
+	}
+	// Torn WAL returns a strict prefix.
+	p.rates = map[string]float64{SiteTornWAL: 1}
+	h := p.CommitHooks()
+	payload := make([]byte, 100)
+	torn := h.TrimWAL(payload)
+	if len(torn) >= len(payload) {
+		t.Fatalf("torn image not a strict prefix: %d of %d", len(torn), len(payload))
+	}
+	// At rate 0 the image passes untouched.
+	p.rates = map[string]float64{}
+	if got := p.CommitHooks().TrimWAL(payload); len(got) != len(payload) {
+		t.Fatalf("untripped TrimWAL altered the image: %d", len(got))
+	}
+}
+
+func TestReloadHookMapsSites(t *testing.T) {
+	p := New(1)
+	hook := p.ReloadHook()
+	for site, point := range map[string]catalog.ReloadPoint{
+		SiteReloadOpen:    catalog.ReloadOpen,
+		SiteReloadLoad:    catalog.ReloadLoad,
+		SiteReloadInstall: catalog.ReloadInstall,
+	} {
+		p.rates = map[string]float64{site: 1}
+		if err := hook("d", point); !errors.Is(err, ErrInjected) {
+			t.Errorf("%s: err = %v", site, err)
+		}
+		p.rates = map[string]float64{}
+		if err := hook("d", point); err != nil {
+			t.Errorf("%s at rate 0: %v", site, err)
+		}
+	}
+}
+
+func TestMiddlewareFaults(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+
+	t.Run("503", func(t *testing.T) {
+		p := New(1)
+		p.Set(SiteHTTP503, 1)
+		ts := httptest.NewServer(p.Middleware(inner))
+		defer ts.Close()
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Error("injected 503 without Retry-After")
+		}
+		for _, want := range []string{"injected_fault", "retry_after_ms"} {
+			if !strings.Contains(string(body), want) {
+				t.Errorf("body %s lacks %q", body, want)
+			}
+		}
+		if p.Injected(SiteHTTP503) != 1 {
+			t.Errorf("counted %d", p.Injected(SiteHTTP503))
+		}
+	})
+
+	t.Run("drop", func(t *testing.T) {
+		p := New(1)
+		p.Set(SiteHTTPDrop, 1)
+		ts := httptest.NewServer(p.Middleware(inner))
+		defer ts.Close()
+		resp, err := http.Get(ts.URL)
+		if err == nil {
+			resp.Body.Close()
+			t.Fatalf("dropped connection produced a response: %d", resp.StatusCode)
+		}
+	})
+
+	t.Run("latency then pass", func(t *testing.T) {
+		p := New(1)
+		p.Set(SiteHTTPLatency, 1)
+		p.SetLatency(30 * time.Millisecond)
+		ts := httptest.NewServer(p.Middleware(inner))
+		defer ts.Close()
+		start := time.Now()
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != "ok" {
+			t.Fatalf("body = %s", body)
+		}
+		if time.Since(start) < 30*time.Millisecond {
+			t.Fatalf("no latency injected (%v)", time.Since(start))
+		}
+	})
+
+	t.Run("no faults pass through", func(t *testing.T) {
+		p := New(1) // no rates set
+		ts := httptest.NewServer(p.Middleware(inner))
+		defer ts.Close()
+		for i := 0; i < 20; i++ {
+			resp, err := http.Get(ts.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d", resp.StatusCode)
+			}
+		}
+		if p.InjectedTotal() != 0 {
+			t.Fatalf("clean plan injected %d", p.InjectedTotal())
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"natix/internal/catalog"
+	"natix/internal/client"
+	"natix/internal/dom"
+	"natix/internal/plancache"
+	"natix/internal/server"
+	"natix/internal/store"
+)
+
+// TestChaosSoak is the serving stack's fault soak: 64 retrying clients
+// against a server behind a chaos plan injecting ~10% transient HTTP faults
+// (latency, connection drops, 503s), with concurrent reloads that themselves
+// fail randomly. Run under -race. Invariants: every request terminates with
+// a correct result or a typed error, client success stays >= 99%, catalog
+// refcounts and buffer pins balance, and no goroutine leaks past shutdown.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	baseGoroutines := runtime.NumGoroutine()
+
+	xml := "<r>" + strings.Repeat("<x>v</x>", 100) + "</r>"
+	cat := catalog.New()
+	if err := cat.OpenMem("mem", strings.NewReader(xml)); err != nil {
+		t.Fatal(err)
+	}
+	memDoc, err := dom.ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storePath := filepath.Join(t.TempDir(), "doc.natix")
+	if err := store.Write(storePath, memDoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.OpenStore("disk", storePath, store.Options{BufferPages: 8}); err != nil {
+		t.Fatal(err)
+	}
+
+	// ~10% of requests hit a transient fault; reloads fail ~30% of the time.
+	plan := New(99)
+	plan.Set(SiteHTTPLatency, 0.04)
+	plan.SetLatency(time.Millisecond)
+	plan.Set(SiteHTTPDrop, 0.03)
+	plan.Set(SiteHTTP503, 0.03)
+	plan.Set(SiteReloadOpen, 0.3)
+	cat.ReloadHook = plan.ReloadHook()
+
+	svc := server.New(server.Config{
+		Catalog:    cat,
+		Cache:      plancache.New(64, 0),
+		Workers:    8,
+		QueueDepth: 4096, // the soak measures fault handling, not admission
+	})
+	ts := httptest.NewServer(plan.Middleware(svc.Handler()))
+
+	type check struct {
+		query  string
+		doc    string
+		number float64 // expected count-style answer; 0 means string check
+		str    string
+	}
+	checks := []check{
+		{query: "count(//x)", doc: "mem", number: 100},
+		{query: "count(//x)", doc: "disk", number: 100},
+		{query: "string(/r/x)", doc: "mem", str: "v"},
+		{query: "string(/r/x)", doc: "disk", str: "v"},
+		{query: "count(/r)", doc: "mem", number: 1},
+	}
+
+	const clients = 64
+	const perClient = 25
+	var success, failed, wrong atomic.Int64
+
+	// Concurrent reloader: generation churn under load, with injected reload
+	// faults. Failed reloads must surface as typed errors and leave serving
+	// intact (the soak's correctness checks keep passing either way).
+	stopReload := make(chan struct{})
+	var reloadWG sync.WaitGroup
+	reloadWG.Add(1)
+	go func() {
+		defer reloadWG.Done()
+		cl := client.New(ts.URL, 7)
+		cl.HTTPClient = ts.Client()
+		for i := 0; ; i++ {
+			select {
+			case <-stopReload:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_, err := cl.Reload(ctx, "disk")
+			cancel()
+			if err != nil {
+				var e *client.Error
+				if !errors.As(err, &e) {
+					// Transport faults (drops) are expected too; anything
+					// else would be a malformed failure.
+					if !strings.Contains(err.Error(), "EOF") &&
+						!strings.Contains(err.Error(), "connection") &&
+						!errors.Is(err, context.DeadlineExceeded) {
+						t.Errorf("reload failed untyped: %v", err)
+					}
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := client.New(ts.URL, int64(c+1))
+			cl.HTTPClient = ts.Client()
+			cl.BackoffBase = 2 * time.Millisecond
+			cl.BackoffCap = 50 * time.Millisecond
+			for r := 0; r < perClient; r++ {
+				tc := checks[(c+r)%len(checks)]
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				resp, err := cl.Query(ctx, &server.QueryRequest{Query: tc.query, Document: tc.doc})
+				cancel()
+				if err != nil {
+					failed.Add(1)
+					var e *client.Error
+					if errors.As(err, &e) && e.Code == "" {
+						t.Errorf("client %d: envelope without code: %v", c, err)
+					}
+					continue
+				}
+				switch {
+				case tc.str != "":
+					if resp.Result.Kind != "string" || resp.Result.String == nil || *resp.Result.String != tc.str {
+						wrong.Add(1)
+						t.Errorf("client %d: %q on %s = %+v", c, tc.query, tc.doc, resp.Result)
+						continue
+					}
+				default:
+					if resp.Result.Kind != "number" || resp.Result.Number == nil || *resp.Result.Number != tc.number {
+						wrong.Add(1)
+						t.Errorf("client %d: %q on %s = %+v", c, tc.query, tc.doc, resp.Result)
+						continue
+					}
+				}
+				success.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stopReload)
+	reloadWG.Wait()
+
+	total := int64(clients * perClient)
+	if got := success.Load() + failed.Load() + wrong.Load(); got != total {
+		t.Fatalf("requests lost: %d of %d accounted for", got, total)
+	}
+	if wrong.Load() != 0 {
+		t.Fatalf("%d requests returned wrong results", wrong.Load())
+	}
+	rate := float64(success.Load()) / float64(total)
+	t.Logf("soak: %d/%d ok (%.2f%%), %d injected faults (latency=%d drop=%d 503=%d reload=%d)",
+		success.Load(), total, 100*rate, plan.InjectedTotal(),
+		plan.Injected(SiteHTTPLatency), plan.Injected(SiteHTTPDrop),
+		plan.Injected(SiteHTTP503), plan.Injected(SiteReloadOpen))
+	if rate < 0.99 {
+		t.Fatalf("success rate %.4f below 0.99", rate)
+	}
+	// The plan must actually have injected a meaningful share of faults, or
+	// the soak proved nothing.
+	if injected := plan.Injected(SiteHTTPDrop) + plan.Injected(SiteHTTP503); injected < total/25 {
+		t.Fatalf("only %d hard faults injected over %d requests", injected, total)
+	}
+
+	// Drain and check the balance invariants.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	ts.Close()
+
+	for _, info := range cat.List() {
+		if info.Refs != 0 || info.Retired != 0 {
+			t.Errorf("document %s: refs=%d retired=%d after drain", info.Name, info.Refs, info.Retired)
+		}
+	}
+	// Pin balance: an idle store handle holds no pinned buffer pages.
+	h, err := cat.Acquire("disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd, ok := h.Doc.(*store.Doc); ok {
+		sd.ReleaseRecordCache()
+		if n := sd.PinnedPages(); n != 0 {
+			t.Errorf("%d buffer pages pinned on an idle handle", n)
+		}
+	} else {
+		t.Error("disk handle is not store-backed")
+	}
+	h.Release()
+	cat.CloseAll()
+
+	// Goroutine-leak check: allow the runtime a settle window for HTTP
+	// connection teardown, then require the count back near the baseline.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseGoroutines+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d now vs %d at start\n%s",
+				runtime.NumGoroutine(), baseGoroutines, buf[:min(n, 16<<10)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -200,6 +200,71 @@ func (h *RatioHistogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// CounterVec is a family of counters sharing one name, distinguished by the
+// value of a single label (a shed reason, a fault-injection site). Children
+// are created on first use and render as one Prometheus metric family.
+type CounterVec struct {
+	label string
+
+	mu       sync.Mutex
+	values   []string // creation order for stable rendering
+	children map[string]*Counter
+}
+
+// With returns the child counter for the given label value, creating it on
+// first use. Safe for concurrent use; nil-receiver safe.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &Counter{}
+		v.children[value] = c
+		v.values = append(v.values, value)
+	}
+	return c
+}
+
+// Value returns the current count of the child for value, zero if the child
+// was never touched.
+func (v *CounterVec) Value(value string) int64 {
+	if v == nil {
+		return 0
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.children[value].Value()
+}
+
+// Total returns the sum over all children.
+func (v *CounterVec) Total() int64 {
+	if v == nil {
+		return 0
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var sum int64
+	for _, c := range v.children {
+		sum += c.Value()
+	}
+	return sum
+}
+
+// snapshot copies the children in creation order for rendering.
+func (v *CounterVec) snapshot() (label string, values []string, counts []int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	values = append([]string(nil), v.values...)
+	counts = make([]int64, len(values))
+	for i, val := range values {
+		counts[i] = v.children[val].Value()
+	}
+	return v.label, values, counts
+}
+
 // Registry is a named collection of metrics. The zero value is unusable;
 // use NewRegistry (or the package Default).
 type Registry struct {
@@ -257,6 +322,14 @@ func (r *Registry) RatioHistogram(name, help string) *RatioHistogram {
 	return r.lookup(name, help, func() any { return &RatioHistogram{} }).(*RatioHistogram)
 }
 
+// CounterVec returns the counter family registered under name with the
+// given label name, creating it on first use.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return r.lookup(name, help, func() any {
+		return &CounterVec{label: label, children: map[string]*Counter{}}
+	}).(*CounterVec)
+}
+
 // WritePrometheus renders every metric in the Prometheus text exposition
 // format (version 0.0.4), in registration order.
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -278,6 +351,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		switch m := items[name].(type) {
 		case *Counter:
 			fmt.Fprintf(&sb, "# TYPE %s counter\n%s %d\n", name, name, m.Value())
+		case *CounterVec:
+			fmt.Fprintf(&sb, "# TYPE %s counter\n", name)
+			label, values, counts := m.snapshot()
+			for i, v := range values {
+				fmt.Fprintf(&sb, "%s{%s=%q} %d\n", name, label, v, counts[i])
+			}
 		case *Gauge:
 			fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %d\n", name, name, m.Value())
 		case *Histogram:

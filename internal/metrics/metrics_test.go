@@ -118,6 +118,76 @@ func TestWritePrometheusFormat(t *testing.T) {
 	}
 }
 
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "requests by code", "code")
+	v.With("ok").Add(3)
+	v.With("err").Inc()
+	v.With("ok").Inc()
+	if v.Value("ok") != 4 || v.Value("err") != 1 {
+		t.Errorf("values: ok=%d err=%d", v.Value("ok"), v.Value("err"))
+	}
+	if v.Value("never") != 0 {
+		t.Errorf("untouched child = %d", v.Value("never"))
+	}
+	if v.Total() != 5 {
+		t.Errorf("total = %d", v.Total())
+	}
+	// Get-or-create returns the same family and the same children.
+	if r.CounterVec("req_total", "", "code") != v {
+		t.Error("family identity lost")
+	}
+	if v.With("ok") != v.With("ok") {
+		t.Error("child identity lost")
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP req_total requests by code",
+		"# TYPE req_total counter",
+		`req_total{code="ok"} 4`,
+		`req_total{code="err"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// One family header, however many children.
+	if n := strings.Count(out, "# TYPE req_total"); n != 1 {
+		t.Errorf("%d TYPE headers for one family", n)
+	}
+
+	var nv *CounterVec
+	nv.With("x").Inc()
+	if nv.Value("x") != 0 || nv.Total() != 0 {
+		t.Error("nil vec non-zero")
+	}
+}
+
+func TestCounterVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("c_total", "", "site")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			site := []string{"a", "b"}[g%2]
+			for i := 0; i < 1000; i++ {
+				v.With(site).Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if v.Value("a") != 4000 || v.Value("b") != 4000 || v.Total() != 8000 {
+		t.Errorf("a=%d b=%d total=%d", v.Value("a"), v.Value("b"), v.Total())
+	}
+}
+
 func TestEnableGate(t *testing.T) {
 	defer Disable()
 	Disable()

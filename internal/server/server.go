@@ -5,17 +5,32 @@
 //
 // Endpoints:
 //
-//	POST /query       evaluate an XPath expression against a named document
-//	GET  /documents   list the document catalog
-//	POST /reload      reload a named document (new generation, invalidates plans)
-//	GET  /healthz     liveness probe
-//	GET  /metrics     Prometheus text dump of the default registry
+//	POST /query          evaluate an XPath expression against a named document
+//	GET  /documents      list the document catalog
+//	POST /reload         reload a named document (new generation, invalidates plans)
+//	GET  /healthz        legacy probe (liveness + state summary)
+//	GET  /healthz/live   liveness: 200 while the process serves at all
+//	GET  /healthz/ready  readiness: 200 only in the healthy state
+//	GET  /metrics        Prometheus text dump of the default registry
 //
 // Admission control is explicit: at most Workers queries execute at once
 // and at most QueueDepth more wait; beyond that /query answers a structured
 // 429 immediately instead of degrading everyone. Shutdown drains in-flight
 // and queued queries before returning; requests arriving during the drain
 // get a structured 503.
+//
+// # Degraded mode
+//
+// The server runs a healthy → degraded → draining state machine. Sustained
+// overload (queue-full rejections) or repeated store faults within one
+// evaluation window flip it to degraded; a full quiet window flips it back.
+// While degraded the server sheds load by cost class — queries whose cached
+// plan's CostBytes marks them expensive are 429'd first — and shrinks the
+// admission queue so latency stays bounded for the work it still accepts.
+// A document whose store trips several consecutive faults is quarantined:
+// its queries get an immediate structured store_fault error instead of
+// burning workers, until a successful /reload restores it. Draining (set by
+// Shutdown) is terminal.
 package server
 
 import (
@@ -45,6 +60,39 @@ var (
 	mQueueWait = metrics.Default.Histogram("natix_serve_queue_seconds", "Time requests spent queued before a worker picked them up.")
 	mServeTime = metrics.Default.Histogram("natix_serve_request_seconds", "End-to-end /query latency (queue + compile/lookup + run).")
 	mInFlight  = metrics.Default.Gauge("natix_serve_inflight", "Queries currently queued or executing.")
+	mState     = metrics.Default.Gauge("natix_serve_state", "Server state: 0 healthy, 1 degraded, 2 draining.")
+	mShed      = metrics.Default.CounterVec("natix_serve_shed_total", "Queries shed while degraded, by cost class.", "class")
+	mQuarDocs  = metrics.Default.Gauge("natix_serve_quarantined_documents", "Documents currently quarantined after repeated store faults.")
+	mQuarHits  = metrics.Default.Counter("natix_serve_quarantine_rejects_total", "Queries answered by the quarantine fast-path (structured store_fault).")
+)
+
+// State is the server's serving state.
+type State int32
+
+// The states, in escalation order. Draining is terminal.
+const (
+	StateHealthy State = iota
+	StateDegraded
+	StateDraining
+)
+
+// String returns the state's wire name.
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateDraining:
+		return "draining"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Cost classes of the shed accounting.
+const (
+	costHigh = "high"
+	costLow  = "low"
 )
 
 // Config configures a Server. Zero fields take the documented defaults.
@@ -67,6 +115,29 @@ type Config struct {
 	// MaxResultNodes truncates the serialized node list of huge results;
 	// the count field still reports the full cardinality (default 10000).
 	MaxResultNodes int
+
+	// EvalWindow is the degradation evaluation period: overload/fault
+	// counters are judged and reset every window, and a degraded server
+	// returns to healthy after one quiet window (default 1s).
+	EvalWindow time.Duration
+	// DegradeRejects flips the server to degraded when at least this many
+	// queue-full rejections land within one window (default 2x QueueDepth).
+	DegradeRejects int64
+	// DegradeFaults flips the server to degraded when at least this many
+	// store faults land within one window (default 4).
+	DegradeFaults int64
+	// HighCostBytes is the plan CostBytes at or above which a query is in
+	// the high cost class, shed first while degraded (default 16 KiB).
+	// Queries whose plan is not cached are classed by expression length
+	// (>= 192 bytes is high).
+	HighCostBytes int64
+	// DegradedQueueDepth is the shrunk admission queue while degraded
+	// (default QueueDepth/4, at least 1).
+	DegradedQueueDepth int
+	// QuarantineAfter quarantines a document after this many consecutive
+	// store faults (default 3). Zero takes the default; negative disables
+	// quarantining.
+	QuarantineAfter int
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +156,24 @@ func (c Config) withDefaults() Config {
 	if c.MaxResultNodes <= 0 {
 		c.MaxResultNodes = 10000
 	}
+	if c.EvalWindow <= 0 {
+		c.EvalWindow = time.Second
+	}
+	if c.DegradeRejects <= 0 {
+		c.DegradeRejects = 2 * int64(c.QueueDepth)
+	}
+	if c.DegradeFaults <= 0 {
+		c.DegradeFaults = 4
+	}
+	if c.HighCostBytes <= 0 {
+		c.HighCostBytes = 16 << 10
+	}
+	if c.DegradedQueueDepth <= 0 {
+		c.DegradedQueueDepth = max(1, c.QueueDepth/4)
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 3
+	}
 	return c
 }
 
@@ -99,6 +188,19 @@ type Server struct {
 
 	draining atomic.Bool
 	start    time.Time
+
+	// Degradation state machine.
+	state    atomic.Int32 // State
+	queued   atomic.Int64 // jobs enqueued, not yet picked up by a worker
+	winRej   atomic.Int64 // queue-full rejections this evaluation window
+	winFault atomic.Int64 // store faults this evaluation window
+	stopEval chan struct{}
+	evalDone chan struct{}
+
+	// Document health: consecutive store-fault counts and quarantines.
+	healthMu    sync.Mutex
+	docFaults   map[string]int
+	quarantined map[string]bool
 }
 
 // job is one admitted query request.
@@ -118,16 +220,121 @@ func New(cfg Config) *Server {
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		jobs:  make(chan *job, cfg.QueueDepth),
-		quit:  make(chan struct{}),
-		start: time.Now(),
+		cfg:         cfg,
+		jobs:        make(chan *job, cfg.QueueDepth),
+		quit:        make(chan struct{}),
+		start:       time.Now(),
+		stopEval:    make(chan struct{}),
+		evalDone:    make(chan struct{}),
+		docFaults:   map[string]int{},
+		quarantined: map[string]bool{},
 	}
+	mState.Set(int64(StateHealthy))
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	go s.evalLoop()
 	return s
+}
+
+// State returns the server's current serving state.
+func (s *Server) State() State { return State(s.state.Load()) }
+
+// setState publishes a state transition.
+func (s *Server) setState(st State) {
+	s.state.Store(int32(st))
+	mState.Set(int64(st))
+}
+
+// evalLoop judges the window counters every EvalWindow: a window that
+// crossed a degrade threshold keeps (or makes) the server degraded, a quiet
+// window restores healthy. Draining is terminal; the loop exits when
+// Shutdown closes stopEval.
+func (s *Server) evalLoop() {
+	defer close(s.evalDone)
+	t := time.NewTicker(s.cfg.EvalWindow)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopEval:
+			return
+		case <-t.C:
+		}
+		rej := s.winRej.Swap(0)
+		faults := s.winFault.Swap(0)
+		tripped := rej >= s.cfg.DegradeRejects || faults >= s.cfg.DegradeFaults
+		switch s.State() {
+		case StateHealthy:
+			if tripped {
+				s.setState(StateDegraded)
+			}
+		case StateDegraded:
+			if !tripped {
+				s.setState(StateHealthy)
+			}
+		case StateDraining:
+			return
+		}
+	}
+}
+
+// noteReject records one queue-full rejection and degrades immediately when
+// the window threshold is crossed (sustained overload must not wait for the
+// window tick to start shedding).
+func (s *Server) noteReject() {
+	mRejected.Inc()
+	if s.winRej.Add(1) >= s.cfg.DegradeRejects && s.State() == StateHealthy {
+		s.setState(StateDegraded)
+	}
+}
+
+// noteStoreFault records one store fault against doc, degrading on the
+// window threshold and quarantining the document after QuarantineAfter
+// consecutive faults.
+func (s *Server) noteStoreFault(doc string) {
+	if s.winFault.Add(1) >= s.cfg.DegradeFaults && s.State() == StateHealthy {
+		s.setState(StateDegraded)
+	}
+	if s.cfg.QuarantineAfter < 0 {
+		return
+	}
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	s.docFaults[doc]++
+	if s.docFaults[doc] >= s.cfg.QuarantineAfter && !s.quarantined[doc] {
+		s.quarantined[doc] = true
+		mQuarDocs.Add(1)
+	}
+}
+
+// noteStoreOK resets doc's consecutive-fault count (quarantine lifts only
+// through a successful reload).
+func (s *Server) noteStoreOK(doc string) {
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	if s.docFaults[doc] != 0 && !s.quarantined[doc] {
+		s.docFaults[doc] = 0
+	}
+}
+
+// isQuarantined reports whether doc is quarantined.
+func (s *Server) isQuarantined(doc string) bool {
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	return s.quarantined[doc]
+}
+
+// liftQuarantine clears doc's quarantine and fault count (successful
+// reload).
+func (s *Server) liftQuarantine(doc string) {
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	if s.quarantined[doc] {
+		delete(s.quarantined, doc)
+		mQuarDocs.Add(-1)
+	}
+	delete(s.docFaults, doc)
 }
 
 // Shutdown drains the service: new queries get 503, queued and in-flight
@@ -135,12 +342,19 @@ func New(cfg Config) *Server {
 // context bounds the wait; its expiry abandons the drain and returns the
 // context's error.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.draining.Store(true)
+	if s.draining.CompareAndSwap(false, true) {
+		s.setState(StateDraining)
+		close(s.stopEval)
+		go func() {
+			s.jobWG.Wait()
+			close(s.quit)
+			s.wg.Wait()
+		}()
+	}
 	drained := make(chan struct{})
 	go func() {
-		s.jobWG.Wait()
-		close(s.quit)
 		s.wg.Wait()
+		<-s.evalDone
 		close(drained)
 	}()
 	select {
@@ -248,11 +462,26 @@ type apiError struct {
 	Status  int    `json:"-"`
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// RetryAfterMS is the machine-readable retry hint accompanying every
+	// 429/503: clients should back off at least this long. The Retry-After
+	// header carries the same hint rounded up to whole seconds.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 func errf(status int, code, format string, args ...any) *apiError {
-	return &apiError{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+	e := &apiError{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		e.RetryAfterMS = defaultRetryAfterMS
+	}
+	return e
 }
+
+// defaultRetryAfterMS is the backpressure hint on 429/503 responses.
+const defaultRetryAfterMS = 250
+
+// isUnknownDoc reports whether an Acquire error means the name is not
+// registered (vs. a store fault opening a registered document).
+func isUnknownDoc(err error) bool { return errors.Is(err, catalog.ErrUnknown) }
 
 // classify maps an execution error onto the structured envelope,
 // distinguishing limit trips, timeouts, parse errors and store faults.
@@ -278,6 +507,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/documents", s.handleDocuments)
 	mux.HandleFunc("/reload", s.handleReload)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/healthz/live", s.handleLive)
+	mux.HandleFunc("/healthz/ready", s.handleReady)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		metrics.Default.WritePrometheus(w)
@@ -294,23 +525,60 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, e *apiError) {
-	if e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable {
+	// Every backpressure status carries the retry contract both ways: the
+	// coarse whole-seconds Retry-After header (rounded up, minimum 1) and
+	// the precise retry_after_ms envelope field.
+	if e.RetryAfterMS > 0 {
+		secs := (e.RetryAfterMS + 999) / 1000
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	} else if e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, e.Status, map[string]*apiError{"error": e})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.State()
 	status := "ok"
 	code := http.StatusOK
-	if s.draining.Load() {
+	if st == StateDraining {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, map[string]any{
 		"status":    status,
+		"state":     st.String(),
 		"uptime_ms": time.Since(s.start).Milliseconds(),
 		"documents": len(s.cfg.Catalog.List()),
+	})
+}
+
+// handleLive is the liveness probe: 200 while the process can answer HTTP
+// at all, whatever the serving state — a degraded or draining server must
+// not be restarted by an orchestrator, only taken out of rotation.
+func (s *Server) handleLive(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "alive",
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+	})
+}
+
+// handleReady is the readiness probe: 200 only in the healthy state, 503
+// (with the state's name) while degraded or draining, so load balancers
+// steer new traffic away while the server recovers or drains.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	st := s.State()
+	code := http.StatusOK
+	if st != StateHealthy {
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, map[string]any{
+		"status":    st.String(),
+		"uptime_ms": time.Since(s.start).Milliseconds(),
 	})
 }
 
@@ -334,13 +602,21 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	gen, err := s.cfg.Catalog.Reload(name)
 	if err != nil {
-		writeErr(w, errf(http.StatusNotFound, CodeUnknownDoc, "%v", err))
+		if isUnknownDoc(err) {
+			writeErr(w, errf(http.StatusNotFound, CodeUnknownDoc, "%v", err))
+		} else {
+			// A failed reload leaves the previous generation serving; the
+			// caller learns the attempt failed, queries keep working.
+			writeErr(w, errf(http.StatusInternalServerError, CodeStoreFault, "%v", err))
+		}
 		return
 	}
 	invalidated := 0
 	if s.cfg.Cache != nil {
 		invalidated = s.cfg.Cache.InvalidateDoc(name)
 	}
+	// A fresh generation starts with a clean bill of health.
+	s.liftQuarantine(name)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"document":          name,
 		"generation":        gen,
@@ -376,6 +652,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Quarantine fast-path: a document whose store keeps tripping sticky
+	// faults answers a structured store_fault immediately instead of
+	// burning a worker on an I/O path known to fail.
+	if s.isQuarantined(req.Document) {
+		mQuarHits.Inc()
+		writeErr(w, errf(http.StatusServiceUnavailable, CodeStoreFault,
+			"document %q quarantined after repeated store faults; POST /reload?document=%s to restore",
+			req.Document, req.Document))
+		return
+	}
+
+	// Degraded mode sheds by cost class before touching the queue: the
+	// expensive queries go first, and what remains competes for a shrunk
+	// queue so the latency of admitted work stays bounded.
+	if s.State() == StateDegraded {
+		class := s.costClass(&req)
+		if class == costHigh {
+			mShed.With(costHigh).Inc()
+			mRejected.Inc()
+			writeErr(w, errf(http.StatusTooManyRequests, CodeOverloaded,
+				"degraded: shedding high-cost queries"))
+			return
+		}
+		if s.queued.Load() >= int64(s.cfg.DegradedQueueDepth) {
+			mShed.With(costLow).Inc()
+			mRejected.Inc()
+			writeErr(w, errf(http.StatusTooManyRequests, CodeOverloaded,
+				"degraded: admission queue shrunk to %d", s.cfg.DegradedQueueDepth))
+			return
+		}
+	}
+
 	// Admission: the jobs channel is the queue; a full channel answers an
 	// immediate structured 429 rather than stalling the client.
 	timeout := s.cfg.DefaultTimeout
@@ -398,10 +706,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case s.jobs <- j:
+		s.queued.Add(1)
 		mInFlight.Add(1)
 	default:
 		s.jobWG.Done()
-		mRejected.Inc()
+		s.noteReject()
 		writeErr(w, errf(http.StatusTooManyRequests, CodeOverloaded,
 			"admission queue full (%d executing, %d queued)", s.cfg.Workers, s.cfg.QueueDepth))
 		return
@@ -416,10 +725,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.resp)
 }
 
+// costClass classifies a query for degraded-mode shedding: by its cached
+// plan's CostBytes when the plan cache has it, by expression length
+// otherwise (an unknown query is only high-cost when its source alone says
+// so — degraded mode must not starve cheap first-time queries).
+func (s *Server) costClass(req *QueryRequest) string {
+	if s.cfg.Cache != nil {
+		opt := natix.Options{Namespaces: req.Namespaces, Limits: s.cfg.Limits}
+		if req.Mode == "canonical" {
+			opt.Mode = natix.Canonical
+		}
+		if gen, err := s.cfg.Catalog.Generation(req.Document); err == nil {
+			k := plancache.Key{Query: req.Query, Opts: plancache.OptionsKey(opt), Doc: req.Document, Gen: gen}
+			if plan, ok := s.cfg.Cache.Peek(k); ok {
+				if plan.CostBytes() >= s.cfg.HighCostBytes {
+					return costHigh
+				}
+				return costLow
+			}
+		}
+	}
+	if int64(len(req.Query)) >= 192 {
+		return costHigh
+	}
+	return costLow
+}
+
 // execute runs one admitted job on a worker goroutine.
 func (s *Server) execute(j *job) {
 	defer s.jobWG.Done()
 	defer close(j.done)
+	s.queued.Add(-1)
 	if metrics.Enabled() {
 		mRequests.Inc()
 		mQueueWait.ObserveDuration(time.Since(j.enqueued))
@@ -433,7 +769,14 @@ func (s *Server) execute(j *job) {
 
 	h, err := s.cfg.Catalog.Acquire(j.req.Document)
 	if err != nil {
-		j.err = errf(http.StatusNotFound, CodeUnknownDoc, "%v", err)
+		if isUnknownDoc(err) {
+			j.err = errf(http.StatusNotFound, CodeUnknownDoc, "%v", err)
+		} else {
+			// The document exists but its store would not open: a store
+			// fault, counted toward degradation and quarantine.
+			s.noteStoreFault(j.req.Document)
+			j.err = errf(http.StatusInternalServerError, CodeStoreFault, "%v", err)
+		}
 		return
 	}
 	defer h.Release()
@@ -457,8 +800,12 @@ func (s *Server) execute(j *job) {
 	res, err := plan.RunContext(j.ctx, natix.RootNode(h.Doc), nil)
 	if err != nil {
 		j.err = classify(err)
+		if j.err.Code == CodeStoreFault {
+			s.noteStoreFault(j.req.Document)
+		}
 		return
 	}
+	s.noteStoreOK(j.req.Document)
 	j.resp = &QueryResponse{
 		Document:   h.Name,
 		Generation: h.Generation,

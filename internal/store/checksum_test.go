@@ -208,7 +208,7 @@ func TestFaultReader(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fr.Armed = true
+	fr.Arm()
 	// Force an uncached page read: tiny buffer, full scan.
 	for id := dom.NodeID(1); int(id) <= d.NodeCount(); id++ {
 		d.Kind(id)

@@ -1,0 +1,161 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"natix/internal/dom"
+)
+
+// reopenValue reopens the store (running recovery) and returns the node's
+// value, also asserting the reopened file passes full CRC verification.
+func reopenValue(t *testing.T, path string, id dom.NodeID) string {
+	t.Helper()
+	u, err := OpenUpdatable(path, Options{BufferPages: 4})
+	if err != nil {
+		t.Fatalf("reopen after fault: %v", err)
+	}
+	defer u.Close()
+	d := u.Doc()
+	// Touch every node so any torn page surfaces as a sticky fault.
+	for n := dom.NodeID(1); int(n) <= d.NodeCount(); n++ {
+		d.Kind(n)
+		d.Value(n)
+	}
+	if d.Err() != nil {
+		t.Fatalf("reopened store faulted: %v", d.Err())
+	}
+	return d.Value(id)
+}
+
+// TestCommitTornWALDiscarded tears the WAL append at every possible length
+// and checks recovery discards the torn tail: the transaction is lost
+// whole, the store stays clean, and a later commit works.
+func TestCommitTornWALDiscarded(t *testing.T) {
+	path := writeStoreFile(t, updSample)
+	u, err := OpenUpdatable(path, Options{BufferPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := u.Doc().FirstChild(findNode(u.Doc(), dom.KindElement, "b"))
+	trim := 1
+	u.Hooks = &CommitHooks{TrimWAL: func(p []byte) []byte {
+		if trim >= len(p) {
+			trim = len(p) - 1
+		}
+		return p[:trim]
+	}}
+	for ; trim < 40; trim += 7 {
+		tx := u.Begin()
+		if err := tx.SetValue(text, "torn-transaction-value"); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); !errors.Is(err, ErrTornWAL) {
+			t.Fatalf("trim %d: err = %v, want ErrTornWAL", trim, err)
+		}
+		// The torn record is on disk; recovery must discard it.
+		if got := reopenValue(t, path, text); got != "hello" {
+			t.Fatalf("trim %d: torn transaction applied: %q", trim, got)
+		}
+		if fi, err := os.Stat(path + walSuffix); err != nil || fi.Size() != 0 {
+			t.Fatalf("trim %d: WAL not truncated after recovery: %v size=%d", trim, err, fi.Size())
+		}
+	}
+	u.Close()
+
+	// A clean updater over the recovered file commits normally.
+	u2, err := OpenUpdatable(path, Options{BufferPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u2.Close()
+	tx := u2.Begin()
+	if err := tx.SetValue(text, "committed after torn history"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reopenValue(t, path, text); got != "committed after torn history" {
+		t.Fatalf("post-recovery commit lost: %q", got)
+	}
+}
+
+// TestCommitFaultAfterWALSyncIsDurable injects failures at every pipeline
+// point after the log fsync and checks the transaction still survives via
+// redo — the WAL record is durable, so the caller's error means "retry
+// later", never "lost".
+func TestCommitFaultAfterWALSyncIsDurable(t *testing.T) {
+	boom := errors.New("boom")
+	for _, point := range []CommitPoint{PointApply, PointPageWrite, PointStoreSync, PointCheckpoint} {
+		t.Run(string(point), func(t *testing.T) {
+			path := writeStoreFile(t, updSample)
+			u, err := OpenUpdatable(path, Options{BufferPages: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			text := u.Doc().FirstChild(findNode(u.Doc(), dom.KindElement, "b"))
+			armed := true
+			u.Hooks = &CommitHooks{OnPoint: func(p CommitPoint) error {
+				if armed && p == point {
+					armed = false // fail once, like a crash would
+					return boom
+				}
+				return nil
+			}}
+			tx := u.Begin()
+			if err := tx.SetValue(text, "durable despite fault"); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Commit(); !errors.Is(err, boom) {
+				t.Fatalf("err = %v, want injected boom", err)
+			}
+			u.Close()
+			// Redo at reopen must apply the committed transaction.
+			if got := reopenValue(t, path, text); got != "durable despite fault" {
+				t.Fatalf("committed transaction lost after %s fault: %q", point, got)
+			}
+		})
+	}
+}
+
+// TestCommitFaultBeforeWALDurableIsAtomic injects failures at the points
+// before the log fsync completes. A wal_write fault loses the transaction
+// whole (nothing reached the log); a wal_sync fault leaves a complete but
+// unsynced record, so recovery may apply it or a crash may have eaten it —
+// either way the outcome must be all-or-nothing, never a torn value.
+func TestCommitFaultBeforeWALDurableIsAtomic(t *testing.T) {
+	boom := errors.New("boom")
+	for _, point := range []CommitPoint{PointWALWrite, PointWALSync} {
+		t.Run(string(point), func(t *testing.T) {
+			path := writeStoreFile(t, updSample)
+			u, err := OpenUpdatable(path, Options{BufferPages: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			text := u.Doc().FirstChild(findNode(u.Doc(), dom.KindElement, "b"))
+			u.Hooks = &CommitHooks{OnPoint: func(p CommitPoint) error {
+				if p == point {
+					return boom
+				}
+				return nil
+			}}
+			tx := u.Begin()
+			if err := tx.SetValue(text, "never-durable"); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Commit(); !errors.Is(err, boom) {
+				t.Fatalf("err = %v, want injected boom", err)
+			}
+			u.Close()
+			got := reopenValue(t, path, text)
+			switch {
+			case point == PointWALWrite && got != "hello":
+				t.Fatalf("nothing reached the log, yet value changed: %q", got)
+			case got != "hello" && got != "never-durable":
+				t.Fatalf("torn outcome after %s fault: %q", point, got)
+			}
+		})
+	}
+}

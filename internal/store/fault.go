@@ -2,7 +2,10 @@ package store
 
 import (
 	"errors"
+	"fmt"
 	"io"
+	"os"
+	"sync/atomic"
 )
 
 // ErrInjectedFault is the default error a FaultReader injects.
@@ -10,40 +13,59 @@ var ErrInjectedFault = errors.New("store: injected read fault")
 
 // FaultReader wraps an io.ReaderAt and injects read failures on a schedule,
 // for testing the engine's fault paths: open a Doc over one with
-// OpenReaderAt and flip Armed (or set FailAfter) mid-query to simulate a
-// medium that dies under load.
+// OpenReaderAt and Arm it (or SetFailAfter) mid-query to simulate a medium
+// that dies under load.
+//
+// The catalog shares readers across concurrent queries, so all mutable
+// state is atomic: arming, disarming and counting from one goroutine while
+// another is mid-ReadAt is safe (the whole point of flipping a fault under
+// load). Err and Fail are configuration — set them before the first read.
 type FaultReader struct {
 	// R is the wrapped reader.
 	R io.ReaderAt
-	// Err is the injected error; nil selects ErrInjectedFault.
+	// Err is the injected error; nil selects ErrInjectedFault. Set before
+	// the first read.
 	Err error
-	// Armed fails every read while true.
-	Armed bool
-	// FailAfter, when positive, arms the reader after that many further
-	// successful reads.
-	FailAfter int64
 	// Fail, when non-nil, is consulted per read; a non-nil return is
-	// injected as the read error.
+	// injected as the read error. Set before the first read; the function
+	// itself must be safe for concurrent calls.
 	Fail func(off int64, length int) error
 
-	// Reads counts ReadAt calls, including failed ones.
-	Reads int64
+	armed     atomic.Bool
+	failAfter atomic.Int64
+	reads     atomic.Int64
 }
+
+// Arm makes every subsequent read fail.
+func (f *FaultReader) Arm() { f.armed.Store(true) }
+
+// Disarm stops injecting (scheduled SetFailAfter arming still applies when
+// its countdown expires).
+func (f *FaultReader) Disarm() { f.armed.Store(false) }
+
+// Armed reports whether the reader is currently failing every read.
+func (f *FaultReader) Armed() bool { return f.armed.Load() }
+
+// SetFailAfter arms the reader after n further successful reads. Zero or
+// negative cancels a pending countdown.
+func (f *FaultReader) SetFailAfter(n int64) { f.failAfter.Store(n) }
+
+// Reads returns the number of ReadAt calls so far, including failed ones.
+func (f *FaultReader) Reads() int64 { return f.reads.Load() }
 
 // ReadAt implements io.ReaderAt.
 func (f *FaultReader) ReadAt(p []byte, off int64) (int, error) {
-	f.Reads++
+	f.reads.Add(1)
 	if f.Fail != nil {
 		if err := f.Fail(off, len(p)); err != nil {
 			return 0, err
 		}
 	}
-	if f.FailAfter > 0 {
-		f.FailAfter--
-		if f.FailAfter == 0 {
-			f.Armed = true
+	if f.failAfter.Load() > 0 {
+		if f.failAfter.Add(-1) == 0 {
+			f.armed.Store(true)
 		}
-	} else if f.Armed {
+	} else if f.armed.Load() {
 		return 0, f.err()
 	}
 	return f.R.ReadAt(p, off)
@@ -54,4 +76,22 @@ func (f *FaultReader) err() error {
 		return f.Err
 	}
 	return ErrInjectedFault
+}
+
+// OpenFaulty opens the store file at path through a FaultReader whose Fail
+// hook is fail (may be nil; arm the returned reader instead). The returned
+// Doc owns the file: Close releases it, exactly like Open.
+func OpenFaulty(path string, opt Options, fail func(off int64, length int) error) (*Doc, *FaultReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	fr := &FaultReader{R: f, Fail: fail}
+	d, err := OpenReaderAt(fr, opt)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	d.file = f
+	return d, fr, nil
 }

@@ -1,0 +1,155 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"natix/internal/dom"
+)
+
+// faultSample is a small document with enough pages to keep reads flowing.
+const faultSample = `<lib>` +
+	strings14 + strings14 + strings14 +
+	`</lib>`
+
+const strings14 = `<book id="1"><title>One</title><extra>aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa</extra></book>` +
+	`<book id="2"><title>Two</title><extra>bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb</extra></book>`
+
+// TestFaultReaderConcurrentArm exercises the data race the catalog exposed:
+// readers shared across concurrent queries while a test goroutine arms,
+// disarms and schedules faults. Run under -race; the assertions only check
+// the reader stays coherent (counts monotonic, armed reads fail).
+func TestFaultReaderConcurrentArm(t *testing.T) {
+	mem, err := dom.Parse(strings.NewReader(faultSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var img bytes.Buffer
+	if err := WriteTo(&img, mem); err != nil {
+		t.Fatal(err)
+	}
+	fr := &FaultReader{R: bytes.NewReader(img.Bytes())}
+
+	stop := make(chan struct{})
+	var mutator sync.WaitGroup
+	// Mutator: flip Armed, schedule FailAfter countdowns, read counters,
+	// all while the readers below are mid-ReadAt.
+	mutator.Add(1)
+	go func() {
+		defer mutator.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 4 {
+			case 0:
+				fr.Arm()
+			case 1:
+				fr.Disarm()
+			case 2:
+				fr.SetFailAfter(int64(i%7) + 1)
+			case 3:
+				_ = fr.Reads()
+				_ = fr.Armed()
+			}
+		}
+	}()
+	// Readers: hammer ReadAt concurrently, tolerating injected faults.
+	buf := img.Bytes()
+	var readers sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			p := make([]byte, 64)
+			for i := 0; i < 5000; i++ {
+				off := int64((i * 97) % (len(buf) - 64))
+				if _, err := fr.ReadAt(p, off); err != nil && !errors.Is(err, ErrInjectedFault) {
+					t.Errorf("unexpected read error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	mutator.Wait()
+	if fr.Reads() < 8*5000 {
+		t.Errorf("reads = %d, want >= %d", fr.Reads(), 8*5000)
+	}
+}
+
+// TestFaultReaderFailAfterArms checks the atomic countdown still arms the
+// reader exactly once the budget is spent.
+func TestFaultReaderFailAfterArms(t *testing.T) {
+	base := bytes.NewReader(make([]byte, 1024))
+	fr := &FaultReader{R: base}
+	fr.SetFailAfter(3)
+	p := make([]byte, 8)
+	for i := 0; i < 3; i++ {
+		if _, err := fr.ReadAt(p, 0); err != nil {
+			t.Fatalf("read %d failed early: %v", i, err)
+		}
+	}
+	if !fr.Armed() {
+		t.Fatal("countdown expired but reader not armed")
+	}
+	if _, err := fr.ReadAt(p, 0); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("armed read: err = %v, want injected fault", err)
+	}
+	if fr.Reads() != 4 {
+		t.Fatalf("reads = %d, want 4", fr.Reads())
+	}
+}
+
+// TestOpenFaulty checks the helper wires the Fail hook and transfers file
+// ownership to the Doc.
+func TestOpenFaulty(t *testing.T) {
+	mem, err := dom.Parse(strings.NewReader(faultSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "doc.natix")
+	if err := Write(path, mem); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	calls := 0
+	d, fr, err := OpenFaulty(path, Options{BufferPages: 2}, func(off int64, length int) error {
+		calls++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Error("Fail hook never consulted during open")
+	}
+	if fr.Reads() == 0 {
+		t.Error("no reads counted")
+	}
+	// Arm and confirm navigation surfaces the sticky fault.
+	fr.Err = boom
+	fr.Arm()
+	for id := dom.NodeID(1); int(id) <= d.NodeCount(); id++ {
+		d.Kind(id)
+		d.Value(id)
+	}
+	if !errors.Is(d.Err(), boom) {
+		t.Errorf("sticky fault = %v, want boom", d.Err())
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The Doc owns the file: a second close must report it already closed.
+	if err := d.Close(); !errors.Is(err, os.ErrClosed) {
+		t.Errorf("second close: err = %v, want ErrClosed (file ownership not transferred?)", err)
+	}
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -28,6 +29,49 @@ const (
 	walCommit byte = 2
 )
 
+// CommitPoint names one step of the commit pipeline, in order. Fault
+// injection and crash tests key on them.
+type CommitPoint string
+
+// The commit pipeline points, in execution order.
+const (
+	// PointWALWrite: before the transaction image is appended to the log.
+	PointWALWrite CommitPoint = "wal_write"
+	// PointWALSync: after the append, before the log fsync. A crash here
+	// may leave a torn (unsynced) tail that recovery must discard.
+	PointWALSync CommitPoint = "wal_sync"
+	// PointApply: after the log fsync — the transaction is durable — before
+	// any store page is touched. A crash here must redo from the log.
+	PointApply CommitPoint = "apply"
+	// PointPageWrite: before each individual page write of the apply phase
+	// (a crash mid-apply tears the store; redo must repair it).
+	PointPageWrite CommitPoint = "page_write"
+	// PointStoreSync: after the apply, before the store fsync.
+	PointStoreSync CommitPoint = "store_sync"
+	// PointCheckpoint: before the log truncation. A crash here redoes an
+	// already-applied transaction (apply is idempotent).
+	PointCheckpoint CommitPoint = "checkpoint"
+)
+
+// CommitHooks injects failures into the updater's durability pipeline. All
+// fields are optional. Tests use OnPoint to return injected write/fsync
+// errors (Commit surfaces them) or to SIGKILL the process at a chosen point
+// (crash harness); TrimWAL simulates a torn append by shortening the
+// transaction image that reaches the log.
+type CommitHooks struct {
+	// OnPoint is called at each pipeline point; a non-nil return is
+	// injected as that step's failure.
+	OnPoint func(p CommitPoint) error
+	// TrimWAL may shorten (or empty) the encoded transaction image before
+	// it is written — a torn append. The trimmed image is still written,
+	// then Commit fails with ErrTornWAL.
+	TrimWAL func(payload []byte) []byte
+}
+
+// ErrTornWAL is returned by Commit when CommitHooks.TrimWAL tore the
+// transaction image: the log holds a partial record recovery must discard.
+var ErrTornWAL = errors.New("store: injected torn WAL append")
+
 // Updater provides transactional value updates on a store file. One
 // Updater owns the file exclusively; its Doc() view reflects committed
 // state. Not safe for concurrent use.
@@ -35,6 +79,18 @@ type Updater struct {
 	path string
 	file *os.File
 	doc  *Doc
+
+	// Hooks, when non-nil, injects faults into Commit (never into
+	// recovery, which repairs what the injected crash left behind).
+	Hooks *CommitHooks
+}
+
+// at runs the OnPoint hook for p, if any.
+func (u *Updater) at(p CommitPoint) error {
+	if u.Hooks != nil && u.Hooks.OnPoint != nil {
+		return u.Hooks.OnPoint(p)
+	}
+	return nil
 }
 
 // OpenUpdatable opens a store file for reading and updating, first
@@ -129,20 +185,52 @@ func (tx *Tx) Commit() error {
 	}
 	defer wal.Close()
 	payload := encodeTx(tx.updates)
-	if _, err := wal.Write(payload); err != nil {
+	if err := u.at(PointWALWrite); err != nil {
 		return fmt.Errorf("store: write wal: %w", err)
+	}
+	torn := false
+	if u.Hooks != nil && u.Hooks.TrimWAL != nil {
+		trimmed := u.Hooks.TrimWAL(payload)
+		torn = len(trimmed) < len(payload)
+		payload = trimmed
+	}
+	if len(payload) > 0 {
+		if _, err := wal.Write(payload); err != nil {
+			return fmt.Errorf("store: write wal: %w", err)
+		}
+	}
+	if torn {
+		// Make the torn tail durable so recovery provably discards it.
+		wal.Sync()
+		return fmt.Errorf("store: write wal: %w", ErrTornWAL)
+	}
+	if err := u.at(PointWALSync); err != nil {
+		return fmt.Errorf("store: sync wal: %w", err)
 	}
 	if err := wal.Sync(); err != nil {
 		return fmt.Errorf("store: sync wal: %w", err)
 	}
 
+	// The log record is durable: from here the transaction survives any
+	// failure (an injected error below reports the step's failure to the
+	// caller, but redo at the next open still applies the updates — the
+	// same contract a real crash gets).
+	if err := u.at(PointApply); err != nil {
+		return fmt.Errorf("store: apply: %w", err)
+	}
 	if err := u.apply(tx.updates); err != nil {
 		return err
+	}
+	if err := u.at(PointStoreSync); err != nil {
+		return fmt.Errorf("store: sync store: %w", err)
 	}
 	if err := u.file.Sync(); err != nil {
 		return fmt.Errorf("store: sync store: %w", err)
 	}
 	// Checkpoint: the transaction is fully applied; drop the log.
+	if err := u.at(PointCheckpoint); err != nil {
+		return fmt.Errorf("store: truncate wal: %w", err)
+	}
 	if err := os.Truncate(u.path+walSuffix, 0); err != nil {
 		return fmt.Errorf("store: truncate wal: %w", err)
 	}
@@ -243,6 +331,9 @@ func (u *Updater) writeInPage(page uint32, off int, data []byte) error {
 	ps := int(d.h.pageSize)
 	if off+len(data) > d.h.usable() {
 		return fmt.Errorf("store: page-local write beyond usable bytes")
+	}
+	if err := u.at(PointPageWrite); err != nil {
+		return fmt.Errorf("store: write page %d: %w", page, err)
 	}
 	buf := make([]byte, ps)
 	base := int64(page) * int64(ps)

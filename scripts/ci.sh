@@ -25,6 +25,13 @@ fi
 go build ./...
 go test -race ./...
 
+# Fault-tolerance gate: the re-exec crash harness (>= 20 SIGKILLs against the
+# commit pipeline and the atomic reload rename) plus the 64-client chaos soak.
+# Both already run inside the full -race suite above; this step re-runs them
+# under a pinned time budget so a recovery hang or soak deadlock fails the
+# gate quickly instead of eating the whole CI slot.
+go test -race -run 'TestCrashRecovery|TestChaosSoak' -timeout 5m -count=1 ./internal/chaos/
+
 # Differential harness: every corpus query under every translation
 # configuration x document backend, against the reference interpreter.
 # -short selects the small fixed corpus prefix; the full matrix runs in the
