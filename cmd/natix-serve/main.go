@@ -83,6 +83,7 @@ func openAll(cat *catalog.Catalog, specs []docSpec, bufPages int) error {
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8321", "listen address")
 	workers := flag.Int("workers", 0, "concurrently executing queries (0 = GOMAXPROCS)")
+	queryWorkers := flag.Int("query-workers", 0, "intra-query parallelism degree per query (0 = serial; capped at GOMAXPROCS/workers)")
 	queue := flag.Int("queue", 0, "admission queue depth beyond the workers (0 = 4x workers)")
 	timeout := flag.Duration("timeout", 10*time.Second, "default per-query deadline")
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on request-supplied deadlines")
@@ -102,7 +103,7 @@ func main() {
 	}
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *timeout, *maxTimeout,
+	if err := run(*addr, *workers, *queryWorkers, *queue, *timeout, *maxTimeout,
 		natix.Limits{MaxBytes: *maxMem, MaxTuples: *maxTuples, MaxSteps: *maxSteps},
 		*cacheEntries, *cacheBytes, *maxNodes, *bufPages,
 		*enableMetrics, *debugAddr, *chaosSpec, flag.Args()); err != nil {
@@ -111,7 +112,7 @@ func main() {
 	}
 }
 
-func run(addr string, workers, queue int, timeout, maxTimeout time.Duration,
+func run(addr string, workers, queryWorkers, queue int, timeout, maxTimeout time.Duration,
 	limits natix.Limits, cacheEntries int, cacheBytes int64, maxNodes, bufPages int,
 	enableMetrics bool, debugAddr, chaosSpec string, args []string) error {
 
@@ -158,6 +159,7 @@ func run(addr string, workers, queue int, timeout, maxTimeout time.Duration,
 		Catalog:        cat,
 		Cache:          plancache.New(cacheEntries, cacheBytes),
 		Workers:        workers,
+		QueryWorkers:   queryWorkers,
 		QueueDepth:     queue,
 		DefaultTimeout: timeout,
 		MaxTimeout:     maxTimeout,

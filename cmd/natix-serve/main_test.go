@@ -42,7 +42,7 @@ func TestRunRejectsBadChaosSpec(t *testing.T) {
 	if err := os.WriteFile(xmlPath, []byte("<r/>"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := run("127.0.0.1:0", 1, 1, time.Second, time.Second,
+	err := run("127.0.0.1:0", 1, 0, 1, time.Second, time.Second,
 		natix.Limits{}, 8, 1<<20, 0, 0,
 		false, "", "http_latncy=0.2", []string{"d=" + xmlPath})
 	if err == nil {

@@ -1,0 +1,189 @@
+// Parallel-segment analysis for the exchange operator (physical package,
+// exchange.go). Marking runs once per compilation, after the batchability
+// analysis, and walks the batch-marked spine of the main tree from the
+// root. A segment is a maximal chain of batch-marked UnnestMap and Select
+// operators containing at least one UnnestMap: such a chain consumes one
+// node column and produces one node column, so any contiguous slice of its
+// input stream can be evaluated on any goroutine and the results merged
+// back in input order. The operator below the chain becomes the segment's
+// feed and keeps running serially on the coordinator.
+//
+// The decision to actually parallelize is made per run, not per compile: a
+// builder whose operator tops a segment instantiates an Exchange only when
+// the execution carries workers, a batch size, a worker-Exec factory and a
+// concurrently navigable context document; otherwise it falls back to the
+// serial builder unchanged. Store-backed documents therefore run serial
+// transparently (their buffer manager is unsynchronized).
+package codegen
+
+import (
+	"natix/internal/algebra"
+	"natix/internal/dom"
+	"natix/internal/physical"
+)
+
+// cloneFn rebuilds one segment operator over a replacement input, bound to
+// a worker's Exec. Registered by compileOp for every UnnestMap and Select
+// so the exchange can clone the chain per worker.
+type cloneFn func(ex *physical.Exec, in physical.Iter) physical.Iter
+
+// parSeg describes one parallelizable segment, keyed in Plan.parSeg by its
+// top operator.
+type parSeg struct {
+	// chain is the segment's operators, top to bottom (UnnestMap/Select
+	// only).
+	chain []algebra.Op
+	// bottom is chain's last element; its compiled input builder is the
+	// segment's serial feed.
+	bottom algebra.Op
+	// inCol is the register of the node column entering the bottom
+	// operator (the feed's output column).
+	inCol int
+	// localDedup is set when the operator directly above the segment is a
+	// batched DupElim on the segment's column: workers then pre-deduplicate
+	// their own output (see physical.Exchange.LocalDedup).
+	localDedup bool
+}
+
+// parallelOK reports whether this execution can drive exchanges at all.
+func parallelOK(ex *physical.Exec) bool {
+	return ex.Workers > 1 && ex.BatchSize > 0 && ex.NewWorkerExec != nil &&
+		ex.CtxDoc != nil && dom.ConcurrentNavigable(ex.CtxDoc)
+}
+
+// markParallel finds the parallelizable segments of the batch-marked spine
+// rooted at op. underDedup reports whether op's direct consumer is a
+// batch-marked DupElim (segments found immediately below one enable local
+// pre-deduplication).
+func (g *generator) markParallel(op algebra.Op, underDedup bool) {
+	switch o := op.(type) {
+	case *algebra.UnnestMap, *algebra.Select:
+		if _, ok := g.plan.batchCol[op]; !ok {
+			return
+		}
+		g.recordSegment(op, underDedup)
+
+	case *algebra.DupElim:
+		if _, ok := g.plan.batchCol[op]; !ok {
+			return
+		}
+		g.markParallel(o.In, true)
+
+	case *algebra.Sort:
+		if _, ok := g.plan.batchCol[op]; !ok {
+			return
+		}
+		g.markParallel(o.In, false)
+
+	case *algebra.Concat:
+		if _, ok := g.plan.batchCol[op]; !ok {
+			return
+		}
+		for _, c := range o.Ins {
+			g.markParallel(c, false)
+		}
+
+	case *algebra.Rename:
+		// No iterator of its own; the consumer relationship passes through.
+		g.markParallel(o.In, underDedup)
+
+	case *algebra.Map:
+		if _, ok := o.Expr.(*algebra.AttrRef); ok {
+			g.markParallel(o.In, underDedup)
+		}
+	}
+}
+
+// recordSegment walks the chain of batch-marked UnnestMap/Select operators
+// starting at top, records it as a segment when it contains an UnnestMap
+// (a pure Select chain is not worth goroutines), and continues the spine
+// walk below the feed.
+func (g *generator) recordSegment(top algebra.Op, underDedup bool) {
+	var chain []algebra.Op
+	var bottom algebra.Op
+	inCol := g.plan.batchCol[top]
+	unnests := 0
+	cur := top
+walk:
+	for {
+		switch o := cur.(type) {
+		case *algebra.UnnestMap:
+			if _, ok := g.plan.batchCol[cur]; !ok {
+				break walk
+			}
+			chain = append(chain, cur)
+			bottom = cur
+			inCol = g.regFor(o.InAttr)
+			unnests++
+			cur = o.In
+		case *algebra.Select:
+			if _, ok := g.plan.batchCol[cur]; !ok {
+				break walk
+			}
+			chain = append(chain, cur)
+			bottom = cur
+			inCol = g.plan.batchCol[cur]
+			cur = o.In
+		case *algebra.Rename:
+			cur = o.In
+		case *algebra.Map:
+			if _, ok := o.Expr.(*algebra.AttrRef); !ok {
+				break walk
+			}
+			cur = o.In
+		default:
+			break walk
+		}
+	}
+	if unnests > 0 {
+		g.plan.parSeg[top] = &parSeg{
+			chain:      chain,
+			bottom:     bottom,
+			inCol:      inCol,
+			localDedup: underDedup,
+		}
+	}
+	// The feed may itself contain deeper spine segments (DupElim between
+	// steps is the Improved mode's normal shape).
+	g.markParallel(cur, false)
+}
+
+// buildExchange instantiates the exchange for a segment: the serial feed
+// from the bottom operator's compiled input, and a clone factory that
+// rebuilds the chain bottom-up over a worker's task source.
+func (p *Plan) buildExchange(ex *physical.Exec, si *parSeg, slot int) physical.Iter {
+	if ex.Prof == nil {
+		slot = -1
+	}
+	return &physical.Exchange{
+		Ex:         ex,
+		Feed:       p.inBuilders[si.bottom](ex),
+		FeedCol:    si.inCol,
+		Workers:    ex.Workers,
+		LocalDedup: si.localDedup,
+		Slot:       slot,
+		Clone: func(wex *physical.Exec, src physical.Iter) physical.Iter {
+			it := src
+			for i := len(si.chain) - 1; i >= 0; i-- {
+				it = p.cloneFns[si.chain[i]](wex, it)
+			}
+			return it
+		},
+	}
+}
+
+// wrapClone applies the execution's WrapIter hook to a cloned segment
+// operator, re-attaching the batched protocol exactly like the standard
+// builder wrap, so leak harnesses observe worker pipelines too.
+func wrapClone(ex *physical.Exec, it physical.Iter) physical.Iter {
+	if ex.WrapIter != nil {
+		w := ex.WrapIter(it)
+		if w != it {
+			if bi, ok := it.(physical.BatchIter); ok {
+				w = physical.WrapBatched(w, bi)
+			}
+		}
+		it = w
+	}
+	return it
+}

@@ -1,0 +1,212 @@
+package codegen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"natix/internal/dom"
+	"natix/internal/guard"
+	"natix/internal/physical"
+	"natix/internal/translate"
+	"natix/internal/xval"
+)
+
+// parallelDoc builds an in-memory document wide and deep enough that every
+// worker sees several batches.
+func parallelDoc(t *testing.T) *dom.MemDoc {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("<a>")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&sb, `<b k="%d">x<c id="%d-1"/><c id="%d-2"><d/></c></b>`, i, i, i)
+	}
+	sb.WriteString("</a>")
+	d, err := dom.ParseString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestParallelMarking: the improved-translation hot chains must expose at
+// least one parallelizable segment, and scalar-only shapes none.
+func TestParallelMarking(t *testing.T) {
+	for _, q := range []string{"/a/b/c", "//c", "//b[@k]/c", "descendant::c/ancestor::b"} {
+		plan := compileQuery(t, q, translate.Improved())
+		if len(plan.parSeg) == 0 {
+			t.Errorf("%s: no parallel segments marked", q)
+		}
+		for _, si := range plan.parSeg {
+			if len(si.chain) == 0 || si.bottom == nil {
+				t.Errorf("%s: malformed segment %+v", q, si)
+			}
+			if plan.inBuilders[si.bottom] == nil {
+				t.Errorf("%s: segment bottom has no feed builder", q)
+			}
+			for _, op := range si.chain {
+				if plan.cloneFns[op] == nil {
+					t.Errorf("%s: chain operator %v has no clone factory", q, op)
+				}
+			}
+		}
+	}
+	// A positional predicate keeps its pipeline scalar — no segments.
+	plan := compileQuery(t, "/a/b[position() = 2]", translate.Improved())
+	if len(plan.parSeg) != 0 {
+		t.Errorf("positional plan marked parallel segments: %d", len(plan.parSeg))
+	}
+}
+
+// TestParallelEquivalence runs plans serial and at several worker degrees
+// and requires identical values, node order and Stats totals.
+func TestParallelEquivalence(t *testing.T) {
+	d := parallelDoc(t)
+	queries := []string{
+		"/a/b", "/a/b/c", "//c", "//b[@k]", "//c/@id", "descendant::d/ancestor::b",
+		"//b/following-sibling::*", "/a/b/c/d | //b[@k='7']", "count(//c)",
+	}
+	for _, q := range queries {
+		for _, mode := range []translate.Options{translate.Improved(), translate.Canonical()} {
+			serial := compileQuery(t, q, mode)
+			ref, err := serial.Run(dom.Node{Doc: d, ID: d.Root()}, nil)
+			if err != nil {
+				t.Fatalf("%s serial: %v", q, err)
+			}
+			for _, w := range []int{2, 4} {
+				par := compileQuery(t, q, mode)
+				par.Workers = w
+				got, err := par.Run(dom.Node{Doc: d, ID: d.Root()}, nil)
+				if err != nil {
+					t.Fatalf("%s w=%d: %v", q, w, err)
+				}
+				if got.Value.String() != ref.Value.String() {
+					t.Errorf("%s w=%d: value %q != serial %q", q, w, got.Value.String(), ref.Value.String())
+				}
+				if got.Value.IsNodeSet() {
+					if len(got.Value.Nodes) != len(ref.Value.Nodes) {
+						t.Fatalf("%s w=%d: %d nodes != serial %d", q, w, len(got.Value.Nodes), len(ref.Value.Nodes))
+					}
+					for i := range got.Value.Nodes {
+						if got.Value.Nodes[i] != ref.Value.Nodes[i] {
+							t.Errorf("%s w=%d: node %d out of order", q, w, i)
+							break
+						}
+					}
+				}
+				if got.Stats != ref.Stats {
+					t.Errorf("%s w=%d: stats %+v != serial %+v", q, w, got.Stats, ref.Stats)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSmallBatches forces batch size 1 with 4 workers: every node
+// becomes its own task, stressing dispatch, ordering and pooling.
+func TestParallelSmallBatches(t *testing.T) {
+	d := parallelDoc(t)
+	serial := compileQuery(t, "//c", translate.Improved())
+	ref, err := serial.Run(dom.Node{Doc: d, ID: d.Root()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := compileQuery(t, "//c", translate.Improved())
+	par.BatchSize = 1
+	par.Workers = 4
+	got, err := par.Run(dom.Node{Doc: d, ID: d.Root()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value.String() != ref.Value.String() {
+		t.Errorf("batch-1 parallel diverged from serial")
+	}
+}
+
+// TestParallelTupleLimit: the fanned-out governor must enforce MaxTuples
+// globally — a parallel run trips where a serial one does.
+func TestParallelTupleLimit(t *testing.T) {
+	d := parallelDoc(t)
+	plan := compileQuery(t, "//c", translate.Improved())
+	plan.Workers = 4
+	_, err := plan.RunContext(context.Background(), guard.Limits{MaxTuples: 50}, dom.Node{Doc: d, ID: d.Root()}, nil)
+	var le *guard.LimitError
+	if !errors.As(err, &le) || le.Budget != guard.BudgetTuples {
+		t.Fatalf("err = %v, want tuple LimitError", err)
+	}
+}
+
+// TestParallelCancellation: a pre-cancelled context aborts a parallel run
+// without hanging or leaking workers.
+func TestParallelCancellation(t *testing.T) {
+	d := parallelDoc(t)
+	plan := compileQuery(t, "//c/ancestor::*", translate.Improved())
+	plan.Workers = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := plan.RunContext(ctx, guard.Limits{}, dom.Node{Doc: d, ID: d.Root()}, nil); err == nil {
+		t.Fatal("cancelled parallel run reported success")
+	}
+}
+
+// TestParallelExplainAnalyze: per-worker exchange accounts surface in the
+// rendered profile and their tuple totals cover the segment's output.
+func TestParallelExplainAnalyze(t *testing.T) {
+	d := parallelDoc(t)
+	plan := compileQuery(t, "//c", translate.Improved())
+	plan.Workers = 2
+	res, out, err := plan.ExplainAnalyze(context.Background(), guard.Limits{}, dom.Node{Doc: d, ID: d.Root()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || !strings.Contains(out, "|| worker 0:") || !strings.Contains(out, "|| worker 1:") {
+		t.Fatalf("profile lacks per-worker lines:\n%s", out)
+	}
+}
+
+// TestParallelRequiresConcurrentDoc: a document that does not declare
+// concurrent navigability (the paged store) must fail the capability gate,
+// so exchanges never run over it; difftest exercises the full serial
+// fallback matrix.
+func TestParallelRequiresConcurrentDoc(t *testing.T) {
+	d := parallelDoc(t)
+	if !dom.ConcurrentNavigable(d) {
+		t.Fatal("MemDoc must be concurrently navigable")
+	}
+	ex := &physical.Exec{
+		Workers: 4, BatchSize: physical.DefaultBatchSize, CtxDoc: nonConcurrentDoc{d},
+		NewWorkerExec: func(*guard.Governor) *physical.Exec { return nil },
+	}
+	if parallelOK(ex) {
+		t.Fatal("parallelOK accepted a non-concurrent document")
+	}
+	ex.CtxDoc = d
+	if !parallelOK(ex) {
+		t.Fatal("parallelOK rejected a concurrent in-memory document")
+	}
+}
+
+// nonConcurrentDoc hides MemDoc's capability method, modeling a document —
+// like the paged store — whose navigation is single-goroutine.
+type nonConcurrentDoc struct{ dom.Document }
+
+func TestParallelResultEqualWithVars(t *testing.T) {
+	d := parallelDoc(t)
+	vars := map[string]xval.Value{"n": xval.Num(3)}
+	serial := compileQuery(t, "//b[@k mod $n = 0]/c", translate.Improved())
+	ref, err := serial.Run(dom.Node{Doc: d, ID: d.Root()}, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := compileQuery(t, "//b[@k mod $n = 0]/c", translate.Improved())
+	par.Workers = 3
+	got, err := par.Run(dom.Node{Doc: d, ID: d.Root()}, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value.String() != ref.Value.String() {
+		t.Errorf("variable-bearing parallel run diverged")
+	}
+}

@@ -54,17 +54,32 @@ func Configs() []Config {
 		{Name: "name-index", Opt: natix.Options{Mode: natix.Improved, EnableNameIndex: true}},
 		{Name: "seq-analysis", Opt: natix.Options{Mode: natix.Improved, EnableSequenceAnalysis: true}},
 	}
-	all := make([]Config, 0, 2*len(base)+2)
+	all := make([]Config, 0, 4*len(base)+4)
 	for _, c := range base {
 		all = append(all, c)
 		scalar := c
 		scalar.Name = c.Name + "-scalar"
 		scalar.Opt.Batch = natix.BatchOff
 		all = append(all, scalar)
+		// Parallel twins: the same batched configuration fanned across 2
+		// and 4 exchange workers. Against in-memory documents these
+		// exercise the full dispatch/merge path; against the store backend
+		// they exercise the capability gate's silent serial fallback — both
+		// must diff clean against the reference.
+		for _, w := range []int{2, 4} {
+			par := c
+			par.Name = fmt.Sprintf("%s-w%d", c.Name, w)
+			par.Opt.Workers = w
+			all = append(all, par)
+		}
 	}
 	all = append(all,
 		Config{Name: "improved-batch1", Opt: natix.Options{Mode: natix.Improved, Batch: 1}},
 		Config{Name: "improved-batch16", Opt: natix.Options{Mode: natix.Improved, Batch: 16}},
+		// Adversarial batch sizes crossed with parallelism: batch 1 makes
+		// every context node its own exchange task.
+		Config{Name: "improved-batch1-w2", Opt: natix.Options{Mode: natix.Improved, Batch: 1, Workers: 2}},
+		Config{Name: "improved-batch16-w4", Opt: natix.Options{Mode: natix.Improved, Batch: 16, Workers: 4}},
 	)
 	return all
 }

@@ -12,6 +12,7 @@ package physical
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"natix/internal/dom"
 	"natix/internal/nvm"
@@ -117,8 +118,40 @@ func (ex *Exec) batchLen() int {
 	return DefaultBatchSize
 }
 
+// poolAudit counts every pool Get and Put while enabled. The leak harness
+// turns it on around a run and asserts the totals balance, catching error
+// and early-Close paths that strand a pooled buffer or return one twice.
+// Atomics, because exchange workers hit the pools from their own
+// goroutines; a disabled audit costs one atomic load per pool call, paid
+// only in builds that run the harness (the flag is never set in
+// production).
+var poolAudit struct {
+	enabled atomic.Bool
+	gets    atomic.Int64
+	puts    atomic.Int64
+}
+
+// PoolAuditStart resets the pool Get/Put counters and enables counting.
+// Test harnesses only; not safe to overlap with another audited run.
+func PoolAuditStart() {
+	poolAudit.gets.Store(0)
+	poolAudit.puts.Store(0)
+	poolAudit.enabled.Store(true)
+}
+
+// PoolAuditStop disables counting and returns the Get and Put totals
+// observed since PoolAuditStart. Equal totals mean every pooled buffer and
+// stepper taken during the audited window was returned exactly once.
+func PoolAuditStop() (gets, puts int64) {
+	poolAudit.enabled.Store(false)
+	return poolAudit.gets.Load(), poolAudit.puts.Load()
+}
+
 // GetNodeBuf returns a batch-sized node buffer from the execution's pool.
 func (ex *Exec) GetNodeBuf() []dom.Node {
+	if poolAudit.enabled.Load() {
+		poolAudit.gets.Add(1)
+	}
 	if p, _ := ex.nodeBufs.Get().(*[]dom.Node); p != nil && len(*p) == ex.batchLen() {
 		return *p
 	}
@@ -127,6 +160,9 @@ func (ex *Exec) GetNodeBuf() []dom.Node {
 
 // PutNodeBuf returns a buffer obtained from GetNodeBuf to the pool.
 func (ex *Exec) PutNodeBuf(b []dom.Node) {
+	if poolAudit.enabled.Load() {
+		poolAudit.puts.Add(1)
+	}
 	if len(b) == ex.batchLen() {
 		ex.nodeBufs.Put(&b)
 	}
@@ -134,6 +170,9 @@ func (ex *Exec) PutNodeBuf(b []dom.Node) {
 
 // GetIDBuf returns a batch-sized NodeID scratch buffer from the pool.
 func (ex *Exec) GetIDBuf() []dom.NodeID {
+	if poolAudit.enabled.Load() {
+		poolAudit.gets.Add(1)
+	}
 	if p, _ := ex.idBufs.Get().(*[]dom.NodeID); p != nil && len(*p) == ex.batchLen() {
 		return *p
 	}
@@ -142,6 +181,9 @@ func (ex *Exec) GetIDBuf() []dom.NodeID {
 
 // PutIDBuf returns a buffer obtained from GetIDBuf to the pool.
 func (ex *Exec) PutIDBuf(b []dom.NodeID) {
+	if poolAudit.enabled.Load() {
+		poolAudit.puts.Add(1)
+	}
 	if len(b) == ex.batchLen() {
 		ex.idBufs.Put(&b)
 	}
@@ -149,6 +191,9 @@ func (ex *Exec) PutIDBuf(b []dom.NodeID) {
 
 // GetStepper returns an axis stepper from the execution's per-axis pool.
 func (ex *Exec) GetStepper(a dom.Axis) *dom.Stepper {
+	if poolAudit.enabled.Load() {
+		poolAudit.gets.Add(1)
+	}
 	if s, _ := ex.steppers[a].Get().(*dom.Stepper); s != nil {
 		return s
 	}
@@ -156,10 +201,17 @@ func (ex *Exec) GetStepper(a dom.Axis) *dom.Stepper {
 }
 
 // PutStepper returns a stepper obtained from GetStepper to its pool.
-func (ex *Exec) PutStepper(s *dom.Stepper) { ex.steppers[s.Axis()].Put(s) }
+func (ex *Exec) PutStepper(s *dom.Stepper) {
+	if poolAudit.enabled.Load() {
+		poolAudit.puts.Add(1)
+	}
+	ex.steppers[s.Axis()].Put(s)
+}
 
-// Batched implements BatchIter.
-func (s *VarScan) Batched() bool { return s.Batch && s.Ex.BatchSize > 0 }
+// Batched implements BatchIter. Every operator's Batched guards against a
+// nil Exec — hand-built plans may probe the protocol before any execution
+// state exists, and must get "scalar" back, not a panic.
+func (s *VarScan) Batched() bool { return s.Batch && s.Ex != nil && s.Ex.BatchSize > 0 }
 
 // NextBatch implements BatchIter.
 func (s *VarScan) NextBatch(out []dom.Node) (int, error) {
@@ -174,7 +226,7 @@ func (s *VarScan) NextBatch(out []dom.Node) (int, error) {
 }
 
 // Batched implements BatchIter.
-func (s *IndexScan) Batched() bool { return s.Batch && s.Ex.BatchSize > 0 }
+func (s *IndexScan) Batched() bool { return s.Batch && s.Ex != nil && s.Ex.BatchSize > 0 }
 
 // NextBatch implements BatchIter.
 func (s *IndexScan) NextBatch(out []dom.Node) (int, error) {
@@ -195,7 +247,7 @@ func (s *IndexScan) NextBatch(out []dom.Node) (int, error) {
 }
 
 // Batched implements BatchIter.
-func (u *UnnestMap) Batched() bool { return u.Batch && u.Ex.BatchSize > 0 }
+func (u *UnnestMap) Batched() bool { return u.Batch && u.Ex != nil && u.Ex.BatchSize > 0 }
 
 // NextBatch implements BatchIter: the batched axis loop. Context nodes
 // arrive a batch at a time from the input column; each is enumerated
@@ -263,7 +315,7 @@ func (u *UnnestMap) NextBatch(out []dom.Node) (int, error) {
 }
 
 // Batched implements BatchIter.
-func (s *Select) Batched() bool { return s.Batch && s.Ex.BatchSize > 0 }
+func (s *Select) Batched() bool { return s.Batch && s.Ex != nil && s.Ex.BatchSize > 0 }
 
 // NextBatch implements BatchIter. The predicate program reads only the
 // node column (the code generator verified that), so the column value is
@@ -297,7 +349,7 @@ func (s *Select) NextBatch(out []dom.Node) (int, error) {
 }
 
 // Batched implements BatchIter.
-func (d *DupElim) Batched() bool { return d.Batch && d.Ex.BatchSize > 0 }
+func (d *DupElim) Batched() bool { return d.Batch && d.Ex != nil && d.Ex.BatchSize > 0 }
 
 // NextBatch implements BatchIter. Keys are typed node identities, so the
 // per-tuple interface boxing of the scalar path disappears; the DocID
@@ -382,7 +434,7 @@ func (c *Concat) NextBatch(out []dom.Node) (int, error) {
 }
 
 // Batched implements BatchIter.
-func (s *SortIter) Batched() bool { return s.Batch && s.Ex.BatchSize > 0 }
+func (s *SortIter) Batched() bool { return s.Batch && s.Ex != nil && s.Ex.BatchSize > 0 }
 
 // openBatched materializes only the node column — downstream provably reads
 // nothing else — and sorts it in document order. Error handling mirrors the

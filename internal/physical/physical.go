@@ -65,6 +65,17 @@ type Exec struct {
 	// every operator through the scalar protocol. Operators the code
 	// generator marked batch-capable serve NextBatch when it is positive.
 	BatchSize int
+	// Workers is the requested intra-query parallelism degree: plan
+	// segments the code generator marked parallelizable split their input
+	// batches across up to this many worker goroutines. 0 or 1 runs
+	// everything on the calling goroutine.
+	Workers int
+	// NewWorkerExec, set by the code generator when Workers > 1, builds
+	// the execution state of one exchange worker: a fresh machine and
+	// register file (sharing the plan's variables and read-only indexes)
+	// with its own buffer/stepper pools, guarded by gov. Nil means the
+	// plan cannot parallelize (hand-built, or scalar).
+	NewWorkerExec func(gov *guard.Governor) *Exec
 
 	// Per-execution free lists for batch buffers and axis steppers. Keyed
 	// to the Exec — never shared across concurrent runs of one Prepared —
@@ -204,7 +215,22 @@ func (u *UnnestMap) Open() error {
 		u.bin = batchInput(u.In, u.Ex, u.InReg)
 		u.inPos, u.inLen = 0, 0
 	}
-	return u.In.Open()
+	if err := u.In.Open(); err != nil {
+		// A failed Open is self-cleaning (no Close follows it), so the
+		// pooled resources acquired above must go back here or they are
+		// stranded for the rest of the execution.
+		u.Ex.PutStepper(u.stepper)
+		u.stepper = nil
+		if u.inBuf != nil {
+			u.Ex.PutNodeBuf(u.inBuf)
+			u.inBuf = nil
+			u.Ex.PutIDBuf(u.ids)
+			u.ids = nil
+		}
+		u.bin = nil
+		return err
+	}
+	return nil
 }
 
 // Next implements Iter.
@@ -339,7 +365,17 @@ func (s *Select) Open() error {
 		}
 		s.bin = batchInput(s.In, s.Ex, s.Col)
 	}
-	return s.In.Open()
+	if err := s.In.Open(); err != nil {
+		// Self-cleaning on failure: return the pooled batch buffer (no
+		// Close will follow this Open).
+		if s.buf != nil {
+			s.Ex.PutNodeBuf(s.buf)
+			s.buf = nil
+		}
+		s.bin = nil
+		return err
+	}
+	return nil
 }
 
 // Next implements Iter.
@@ -802,7 +838,15 @@ func (d *DupElim) Open() error {
 		}
 		d.bin = batchInput(d.In, d.Ex, d.AttrReg)
 		d.lastDoc = nil
-		return d.In.Open()
+		if err := d.In.Open(); err != nil {
+			// Self-cleaning on failure: return the pooled batch buffer
+			// (no Close will follow this Open).
+			d.Ex.PutNodeBuf(d.buf)
+			d.buf = nil
+			d.bin = nil
+			return err
+		}
+		return nil
 	}
 	if d.seen == nil {
 		d.seen = make(map[any]struct{})

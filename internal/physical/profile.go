@@ -25,6 +25,17 @@ type OpStat struct {
 	Bytes int64
 }
 
+// WorkerStat is the per-worker account of one Exchange execution: how many
+// input batches the worker processed, how many output nodes it produced,
+// and the wall time it spent inside its cloned pipeline. The exchange
+// records these on the coordinator at teardown, so reading a finished
+// Profile needs no synchronization.
+type WorkerStat struct {
+	Batches int64
+	Tuples  int64
+	Busy    time.Duration
+}
+
 // Profile collects the per-operator and per-program statistics of one
 // instrumented execution (Query.ExplainAnalyze). A Profile belongs to a
 // single run and is not safe for concurrent use.
@@ -33,6 +44,10 @@ type Profile struct {
 	Ops []OpStat
 	// Progs is indexed by nvm.Program.ID.
 	Progs []nvm.ProgStat
+	// Workers maps the operator slot of a parallel segment's top operator
+	// to the per-worker statistics of its exchange. Nil until an exchange
+	// runs.
+	Workers map[int][]WorkerStat
 }
 
 // Instrumented wraps an iterator with per-operator accounting. The code

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"net/http"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"natix/internal/catalog"
+	"natix/internal/dom"
+	"natix/internal/plancache"
+	"natix/internal/store"
+)
+
+// TestQueryWorkersCap: the configured intra-query degree is capped so the
+// admission pool times the per-query fan-out never oversubscribes the
+// machine, and degree 1 normalizes to 0 so plan-cache keys agree.
+func TestQueryWorkersCap(t *testing.T) {
+	cores := runtime.GOMAXPROCS(0)
+	c := Config{Workers: 2, QueryWorkers: 64}.withDefaults()
+	want := max(1, cores/2)
+	if want == 1 {
+		want = 0
+	}
+	if c.QueryWorkers != want {
+		t.Errorf("QueryWorkers = %d, want %d (cores %d / admission 2)", c.QueryWorkers, want, cores)
+	}
+	if c := (Config{Workers: 2, QueryWorkers: 1}).withDefaults(); c.QueryWorkers != 0 {
+		t.Errorf("QueryWorkers 1 normalized to %d, want 0", c.QueryWorkers)
+	}
+	if c := (Config{Workers: 2, QueryWorkers: -3}).withDefaults(); c.QueryWorkers != 0 {
+		t.Errorf("negative QueryWorkers = %d, want 0", c.QueryWorkers)
+	}
+}
+
+// TestQueryWorkersServing runs the server with intra-query parallelism
+// requested: results must match the serial server byte-for-byte on both a
+// memory-backed and a store-backed document (the latter via the capability
+// gate's serial fallback), and the plan cache must still hit on repeats.
+func TestQueryWorkersServing(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<lib>")
+	for i := 0; i < 40; i++ {
+		sb.WriteString(`<book><title>t</title><author>a</author></book>`)
+	}
+	sb.WriteString("</lib>")
+
+	mem, err := dom.ParseString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lib.natix")
+	if err := store.Write(path, mem); err != nil {
+		t.Fatal(err)
+	}
+	newCat := func() *catalog.Catalog {
+		cat := catalog.New()
+		if err := cat.OpenMem("mem", strings.NewReader(sb.String())); err != nil {
+			t.Fatal(err)
+		}
+		if err := cat.OpenStore("stored", path, store.Options{BufferPages: 8}); err != nil {
+			t.Fatal(err)
+		}
+		return cat
+	}
+
+	_, serialTS := newTestService(t, Config{Catalog: newCat(), Cache: plancache.New(16, 0)})
+	_, parTS := newTestService(t, Config{Catalog: newCat(), Cache: plancache.New(16, 0), Workers: 1, QueryWorkers: 4})
+
+	for _, doc := range []string{"mem", "stored"} {
+		for _, q := range []string{"//book/title", "count(//book//*)", "//book[author]/title"} {
+			req := QueryRequest{Query: q, Document: doc}
+			st1, d1 := postQuery(t, serialTS, req)
+			st2, d2 := postQuery(t, parTS, req)
+			if st1 != http.StatusOK || st2 != http.StatusOK {
+				t.Fatalf("%s on %s: status serial=%d parallel=%d (%s / %s)", q, doc, st1, st2, d1, d2)
+			}
+			r1, r2 := decodeQuery(t, d1), decodeQuery(t, d2)
+			if r1.Result.Count != r2.Result.Count || len(r1.Result.Nodes) != len(r2.Result.Nodes) {
+				t.Errorf("%s on %s: serial %+v != parallel %+v", q, doc, r1.Result, r2.Result)
+			}
+			// Repeat: the parallel server's cache key includes the worker
+			// degree, so the second request must hit.
+			_, d3 := postQuery(t, parTS, req)
+			if !decodeQuery(t, d3).Cached {
+				t.Errorf("%s on %s: parallel repeat missed the plan cache", q, doc)
+			}
+		}
+	}
+}

@@ -138,6 +138,17 @@ type Config struct {
 	// store faults (default 3). Zero takes the default; negative disables
 	// quarantining.
 	QuarantineAfter int
+
+	// QueryWorkers sets the intra-query parallelism degree compiled into
+	// served plans (natix.Options.Workers); 0 or 1 serves serial plans.
+	// The admission pool already runs Workers queries at once, so the
+	// requested degree is capped at startup to GOMAXPROCS/Workers (at
+	// least 1): saturating the machine with inter-query concurrency and
+	// then fanning each query out again would only add scheduling churn.
+	// Store-backed documents always execute serially regardless — the
+	// engine's capability gate falls back when the document's buffer
+	// manager is single-goroutine.
+	QueryWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -173,6 +184,17 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QuarantineAfter == 0 {
 		c.QuarantineAfter = 3
+	}
+	if c.QueryWorkers < 0 {
+		c.QueryWorkers = 0
+	}
+	if c.QueryWorkers > 1 {
+		if cap := max(1, runtime.GOMAXPROCS(0)/c.Workers); c.QueryWorkers > cap {
+			c.QueryWorkers = cap
+		}
+	}
+	if c.QueryWorkers == 1 {
+		c.QueryWorkers = 0 // 1 is serial; normalize so cache keys agree
 	}
 	return c
 }
@@ -725,16 +747,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.resp)
 }
 
+// compileOpts builds the compile options for one request. costClass and
+// execute both go through here: the cost probe peeks the plan cache under
+// the same canonical key execute compiles under, so any drift between the
+// two would silently misclassify every cached plan.
+func (s *Server) compileOpts(req *QueryRequest) natix.Options {
+	opt := natix.Options{
+		Namespaces: req.Namespaces,
+		Limits:     s.cfg.Limits,
+		Workers:    s.cfg.QueryWorkers,
+	}
+	if req.Mode == "canonical" {
+		opt.Mode = natix.Canonical
+	}
+	return opt
+}
+
 // costClass classifies a query for degraded-mode shedding: by its cached
 // plan's CostBytes when the plan cache has it, by expression length
 // otherwise (an unknown query is only high-cost when its source alone says
 // so — degraded mode must not starve cheap first-time queries).
 func (s *Server) costClass(req *QueryRequest) string {
 	if s.cfg.Cache != nil {
-		opt := natix.Options{Namespaces: req.Namespaces, Limits: s.cfg.Limits}
-		if req.Mode == "canonical" {
-			opt.Mode = natix.Canonical
-		}
+		opt := s.compileOpts(req)
 		if gen, err := s.cfg.Catalog.Generation(req.Document); err == nil {
 			k := plancache.Key{Query: req.Query, Opts: plancache.OptionsKey(opt), Doc: req.Document, Gen: gen}
 			if plan, ok := s.cfg.Cache.Peek(k); ok {
@@ -781,10 +816,7 @@ func (s *Server) execute(j *job) {
 	}
 	defer h.Release()
 
-	opt := natix.Options{Namespaces: j.req.Namespaces, Limits: s.cfg.Limits}
-	if j.req.Mode == "canonical" {
-		opt.Mode = natix.Canonical
-	}
+	opt := s.compileOpts(j.req)
 	var plan *natix.Prepared
 	cached := false
 	if s.cfg.Cache != nil {

@@ -44,6 +44,14 @@ go test -short -run TestMatrix ./internal/difftest/
 # timing-sensitive.
 NATIX_PERF_GUARD=1 go test -run TestBatchSpeedupGuard -timeout 20m .
 
+# Parallel guard: 4 exchange workers must hit at least 2.5x over serial on
+# the Fig. 5 hot chains (the test self-skips below 4 cores, where the
+# difftest twins above still prove correctness and only overhead could be
+# measured). The race invocation re-pins the exchange's isolation contract
+# under the two concurrency layers stacked: shared plans x worker fan-out.
+NATIX_PERF_GUARD=1 go test -run TestParallelSpeedupGuard -timeout 20m .
+go test -race -run 'TestConcurrentSharedPreparedParallel|TestPoolBalanceParallel' -timeout 5m -count=1 .
+
 # Plan-cache guard: a cache hit must return the identical compiled artifact
 # (pointer identity — no parse/translate/codegen on the hit path), and the
 # benchmark pair quantifies the cold/hot gap.
