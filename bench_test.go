@@ -395,6 +395,72 @@ func TestParallelSpeedupGuard(t *testing.T) {
 	}
 }
 
+// TestIndexSpeedupGuard fails if the path-index access path falls short of
+// 5x over navigation for the rare //name probe on the page-backed store at
+// 8000 elements — the O(subtree) vs O(matches) acceptance floor of the
+// structural-index work. The guard self-skips on constrained machines
+// (below 2 cores the timing is dominated by scheduler noise; the
+// index-enabled difftest twins still prove correctness there and
+// `natix-bench -exp index` records the honest numbers). Timing-sensitive,
+// so it only runs when explicitly requested:
+//
+//	NATIX_PERF_GUARD=1 go test -run TestIndexSpeedupGuard
+func TestIndexSpeedupGuard(t *testing.T) {
+	if os.Getenv("NATIX_PERF_GUARD") == "" {
+		t.Skip("set NATIX_PERF_GUARD=1 to run the index speedup guard")
+	}
+	if cores := runtime.GOMAXPROCS(0); cores < 2 {
+		t.Skipf("GOMAXPROCS=%d: timings too noisy for a ratio guard", cores)
+	}
+	const elements = 8000
+	mem := bench.SkewedDoc(elements)
+	stored, err := bench.StoreImage(fmt.Sprintf("skew/%d", elements), mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := natix.RootNode(stored)
+
+	const rounds = 5
+	best := func(q *natix.Prepared) float64 {
+		min := -1.0
+		for r := 0; r < rounds; r++ {
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := q.Run(root, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if ns := float64(res.NsPerOp()); min < 0 || ns < min {
+				min = ns
+			}
+		}
+		return min
+	}
+	var navTotal, pixTotal float64
+	for _, spec := range bench.IndexQueries {
+		if spec.ID == "common" {
+			// The dominant tag covers most of the document: the scan still
+			// wins on the store backend but O(matches) ~ O(subtree) there,
+			// so the 5x floor applies to the selective probes only.
+			continue
+		}
+		nav := natix.MustCompile(spec.XPath)
+		pix := natix.MustCompileWith(spec.XPath, natix.Options{EnablePathIndex: true})
+		nNs, pNs := best(nav), best(pix)
+		t.Logf("%s (%s): navigation %.0fns path-index %.0fns (%.2fx)",
+			spec.ID, spec.XPath, nNs, pNs, nNs/pNs)
+		navTotal += nNs
+		pixTotal += pNs
+	}
+	if speedup := navTotal / pixTotal; speedup < 5 {
+		t.Errorf("path-index speedup %.2fx below the 5x floor (navigation %.0fns, path-index %.0fns)",
+			speedup, navTotal, pixTotal)
+	} else {
+		t.Logf("navigation/path-index total: %.0fns / %.0fns (%.2fx)", navTotal, pixTotal, speedup)
+	}
+}
+
 // BenchmarkCompile measures the compiler pipeline alone (parse through
 // code generation).
 func BenchmarkCompile(b *testing.B) {

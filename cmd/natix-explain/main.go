@@ -27,6 +27,7 @@ func main() {
 	phys := flag.Bool("physical", false, "also show the physical plan with NVM disassembly")
 	dot := flag.Bool("dot", false, "emit the plan as a Graphviz digraph instead of text")
 	mode := flag.String("mode", "improved", "translation mode: improved or canonical")
+	pathIndex := flag.Bool("path-index", false, "enable path-index access-path selection (marks candidates; -analyze shows the decision)")
 	ns := flag.String("ns", "", "namespace bindings: prefix=uri,prefix=uri")
 	analyze := flag.String("analyze", "", "run the query instrumented against this XML document and show the annotated operator tree")
 	flag.Usage = func() {
@@ -38,7 +39,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *mode, *all, *phys, *dot, *ns, *analyze); err != nil {
+	if err := run(flag.Arg(0), *mode, *all, *phys, *dot, *pathIndex, *ns, *analyze); err != nil {
 		fmt.Fprintln(os.Stderr, "natix-explain:", err)
 		os.Exit(1)
 	}
@@ -59,13 +60,13 @@ func parseNS(s string) (map[string]string, error) {
 	return out, nil
 }
 
-func run(query, mode string, all, phys, dot bool, nsSpec, analyzePath string) error {
+func run(query, mode string, all, phys, dot, pathIndex bool, nsSpec, analyzePath string) error {
 	namespaces, err := parseNS(nsSpec)
 	if err != nil {
 		return err
 	}
 	if analyzePath != "" {
-		return runAnalyze(query, mode, namespaces, analyzePath)
+		return runAnalyze(query, mode, namespaces, analyzePath, pathIndex)
 	}
 
 	ast, err := xpath.Parse(query)
@@ -73,7 +74,7 @@ func run(query, mode string, all, phys, dot bool, nsSpec, analyzePath string) er
 		return err
 	}
 	if dot {
-		q, err := natix.CompileWith(query, natix.Options{Namespaces: namespaces})
+		q, err := natix.CompileWith(query, natix.Options{Namespaces: namespaces, EnablePathIndex: pathIndex})
 		if err != nil {
 			return err
 		}
@@ -96,22 +97,22 @@ func run(query, mode string, all, phys, dot bool, nsSpec, analyzePath string) er
 			struct {
 				name string
 				opt  natix.Options
-			}{"canonical (section 3)", natix.Options{Mode: natix.Canonical, Namespaces: namespaces}},
+			}{"canonical (section 3)", natix.Options{Mode: natix.Canonical, Namespaces: namespaces, EnablePathIndex: pathIndex}},
 			struct {
 				name string
 				opt  natix.Options
-			}{"improved (section 4)", natix.Options{Namespaces: namespaces}},
+			}{"improved (section 4)", natix.Options{Namespaces: namespaces, EnablePathIndex: pathIndex}},
 		)
 	case mode == "canonical":
 		configs = append(configs, struct {
 			name string
 			opt  natix.Options
-		}{"canonical (section 3)", natix.Options{Mode: natix.Canonical, Namespaces: namespaces}})
+		}{"canonical (section 3)", natix.Options{Mode: natix.Canonical, Namespaces: namespaces, EnablePathIndex: pathIndex}})
 	case mode == "improved":
 		configs = append(configs, struct {
 			name string
 			opt  natix.Options
-		}{"improved (section 4)", natix.Options{Namespaces: namespaces}})
+		}{"improved (section 4)", natix.Options{Namespaces: namespaces, EnablePathIndex: pathIndex}})
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}
@@ -139,8 +140,8 @@ func run(query, mode string, all, phys, dot bool, nsSpec, analyzePath string) er
 
 // runAnalyze executes the query instrumented against a document and prints
 // the annotated operator tree.
-func runAnalyze(query, mode string, namespaces map[string]string, path string) error {
-	opt := natix.Options{Namespaces: namespaces}
+func runAnalyze(query, mode string, namespaces map[string]string, path string, pathIndex bool) error {
+	opt := natix.Options{Namespaces: namespaces, EnablePathIndex: pathIndex}
 	switch mode {
 	case "improved":
 	case "canonical":

@@ -12,41 +12,41 @@ func TestExplainRuns(t *testing.T) {
 		"count(//a) + 1",
 		"/a/b[c = 'x']",
 	} {
-		if err := run(q, "improved", false, false, false, "", ""); err != nil {
+		if err := run(q, "improved", false, false, false, false, "", ""); err != nil {
 			t.Errorf("%q: %v", q, err)
 		}
 	}
-	if err := run("//a", "canonical", false, true, false, "", ""); err != nil {
+	if err := run("//a", "canonical", false, true, false, false, "", ""); err != nil {
 		t.Errorf("canonical+physical: %v", err)
 	}
-	if err := run("//a", "x", true, true, false, "", ""); err != nil {
+	if err := run("//a", "x", true, true, false, false, "", ""); err != nil {
 		t.Errorf("-all ignores mode: %v", err)
 	}
-	if err := run("//a[b]", "improved", false, false, true, "", ""); err != nil {
+	if err := run("//a[b]", "improved", false, false, true, false, "", ""); err != nil {
 		t.Errorf("-dot: %v", err)
 	}
-	if err := run("count(//a)", "improved", false, false, true, "", ""); err == nil {
+	if err := run("count(//a)", "improved", false, false, true, false, "", ""); err == nil {
 		t.Error("-dot on a scalar query accepted")
 	}
 }
 
 func TestExplainNamespaces(t *testing.T) {
-	if err := run("//p:a", "improved", false, false, false, "p=urn:p", ""); err != nil {
+	if err := run("//p:a", "improved", false, false, false, false, "p=urn:p", ""); err != nil {
 		t.Errorf("namespaced: %v", err)
 	}
-	if err := run("//p:a", "improved", false, false, false, "", ""); err == nil {
+	if err := run("//p:a", "improved", false, false, false, false, "", ""); err == nil {
 		t.Error("unbound prefix accepted")
 	}
-	if err := run("//a", "improved", false, false, false, "junk", ""); err == nil {
+	if err := run("//a", "improved", false, false, false, false, "junk", ""); err == nil {
 		t.Error("bad ns spec accepted")
 	}
 }
 
 func TestExplainErrors(t *testing.T) {
-	if err := run("][", "improved", false, false, false, "", ""); err == nil {
+	if err := run("][", "improved", false, false, false, false, "", ""); err == nil {
 		t.Error("bad query accepted")
 	}
-	if err := run("//a", "bogus", false, false, false, "", ""); err == nil {
+	if err := run("//a", "bogus", false, false, false, false, "", ""); err == nil {
 		t.Error("bad mode accepted")
 	}
 }
@@ -67,13 +67,13 @@ func TestRunAnalyze(t *testing.T) {
 	if err := os.WriteFile(path, []byte(`<a><b>2</b><b>0</b></a>`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("//b[. > 1]", "improved", false, false, false, "", path); err != nil {
+	if err := run("//b[. > 1]", "improved", false, false, false, false, "", path); err != nil {
 		t.Errorf("analyze: %v", err)
 	}
-	if err := run("//b", "improved", false, false, false, "", filepath.Join(dir, "missing.xml")); err == nil {
+	if err := run("//b", "improved", false, false, false, false, "", filepath.Join(dir, "missing.xml")); err == nil {
 		t.Error("missing document accepted")
 	}
-	if err := run("//b", "bogus", false, false, false, "", path); err == nil {
+	if err := run("//b", "bogus", false, false, false, false, "", path); err == nil {
 		t.Error("bad mode accepted")
 	}
 }

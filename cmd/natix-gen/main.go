@@ -25,8 +25,10 @@ func main() {
 	elements := flag.Int("elements", 2000, "xdoc: element count")
 	fanout := flag.Int("fanout", 6, "xdoc: children per element")
 	depth := flag.Int("depth", 0, "xdoc: maximum depth below root (0 = unbounded)")
+	tags := flag.Int("tags", 0, "xdoc: tag vocabulary size t0..t(N-1), rank-ordered by frequency (0 = uniform \"e\")")
+	skew := flag.Float64("skew", 1.5, "xdoc: Zipf exponent of the tag distribution (<= 1 draws uniformly)")
 	pubs := flag.Int("pubs", 10000, "dblp: publication count")
-	seed := flag.Int64("seed", 2005, "dblp: generator seed")
+	seed := flag.Int64("seed", 2005, "generator seed (dblp publications, xdoc tag draw)")
 	out := flag.String("o", "", "output file (default stdout, XML only)")
 	asStore := flag.Bool("store", false, "write the paged store format instead of XML (requires -o)")
 	metricsDump := flag.Bool("metrics", false, "print the process metrics registry after generation")
@@ -35,7 +37,7 @@ func main() {
 	if *metricsDump {
 		metrics.Enable()
 	}
-	if err := run(*kind, *elements, *fanout, *depth, *pubs, *seed, *out, *asStore); err != nil {
+	if err := run(*kind, *elements, *fanout, *depth, *tags, *skew, *pubs, *seed, *out, *asStore); err != nil {
 		fmt.Fprintln(os.Stderr, "natix-gen:", err)
 		os.Exit(1)
 	}
@@ -44,11 +46,11 @@ func main() {
 	}
 }
 
-func run(kind string, elements, fanout, depth, pubs int, seed int64, out string, asStore bool) error {
+func run(kind string, elements, fanout, depth, tags int, skew float64, pubs int, seed int64, out string, asStore bool) error {
 	var doc *dom.MemDoc
 	switch kind {
 	case "xdoc":
-		doc = gen.Generate(gen.Params{Elements: elements, Fanout: fanout, MaxDepth: depth})
+		doc = gen.Generate(gen.Params{Elements: elements, Fanout: fanout, MaxDepth: depth, Tags: tags, Skew: skew, Seed: seed})
 	case "dblp":
 		doc = gen.DBLP(gen.DBLPParams{Publications: pubs, Seed: seed})
 	default:

@@ -12,7 +12,7 @@ import (
 
 func TestGenXDocXML(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "x.xml")
-	if err := run("xdoc", 50, 4, 0, 0, 0, out, false); err != nil {
+	if err := run("xdoc", 50, 4, 0, 0, 0, 0, 0, out, false); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -31,7 +31,7 @@ func TestGenXDocXML(t *testing.T) {
 
 func TestGenDBLPStore(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "d.natix")
-	if err := run("dblp", 0, 0, 0, 100, 7, out, true); err != nil {
+	if err := run("dblp", 0, 0, 0, 0, 0, 100, 7, out, true); err != nil {
 		t.Fatal(err)
 	}
 	sd, err := store.Open(out, store.Options{})
@@ -46,13 +46,13 @@ func TestGenDBLPStore(t *testing.T) {
 }
 
 func TestGenErrors(t *testing.T) {
-	if err := run("nope", 1, 1, 0, 0, 0, "", false); err == nil {
+	if err := run("nope", 1, 1, 0, 0, 0, 0, 0, "", false); err == nil {
 		t.Error("bad kind accepted")
 	}
-	if err := run("xdoc", 1, 1, 0, 0, 0, "", true); err == nil {
+	if err := run("xdoc", 1, 1, 0, 0, 0, 0, 0, "", true); err == nil {
 		t.Error("-store without -o accepted")
 	}
-	if err := run("xdoc", 1, 1, 0, 0, 0, "/nonexistent-dir/x.xml", false); err == nil {
+	if err := run("xdoc", 1, 1, 0, 0, 0, 0, 0, "/nonexistent-dir/x.xml", false); err == nil {
 		t.Error("unwritable path accepted")
 	}
 }

@@ -41,6 +41,7 @@ func main() {
 	ns := nsFlags{}
 	mode := flag.String("mode", "improved", "translation mode: improved or canonical")
 	useStore := flag.Bool("store", false, "treat the document as a natix store file")
+	pathIndex := flag.Bool("path-index", false, "enable path-index access-path selection (cost-based, falls back to navigation)")
 	explain := flag.Bool("explain", false, "print the algebra plan before evaluating")
 	stats := flag.Bool("stats", false, "print engine statistics after evaluating")
 	analyze := flag.Bool("explain-analyze", false, "run the query instrumented and print the annotated operator tree")
@@ -70,7 +71,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/metrics\n", addr)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *mode, *useStore, *explain, *analyze, *stats, *bufPages, *timeout, *maxMem, ns); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *mode, *useStore, *pathIndex, *explain, *analyze, *stats, *bufPages, *timeout, *maxMem, ns); err != nil {
 		fmt.Fprintln(os.Stderr, "natix-query:", err)
 		os.Exit(1)
 	}
@@ -79,8 +80,8 @@ func main() {
 	}
 }
 
-func run(query, path, mode string, useStore, explain, analyze, stats bool, bufPages int, timeout time.Duration, maxMem int64, ns map[string]string) error {
-	opt := natix.Options{Namespaces: ns, Limits: natix.Limits{MaxBytes: maxMem}}
+func run(query, path, mode string, useStore, pathIndex, explain, analyze, stats bool, bufPages int, timeout time.Duration, maxMem int64, ns map[string]string) error {
+	opt := natix.Options{Namespaces: ns, Limits: natix.Limits{MaxBytes: maxMem}, EnablePathIndex: pathIndex}
 	switch mode {
 	case "improved":
 	case "canonical":

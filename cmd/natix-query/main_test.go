@@ -23,21 +23,21 @@ func writeXML(t *testing.T, content string) string {
 func TestRunXMLFile(t *testing.T) {
 	path := writeXML(t, `<a><b id="1"/><b id="2"/></a>`)
 	for _, mode := range []string{"improved", "canonical"} {
-		if err := run("//b/@id", path, mode, false, true, false, true, 0, 0, 0, nil); err != nil {
+		if err := run("//b/@id", path, mode, false, false, true, false, true, 0, 0, 0, nil); err != nil {
 			t.Errorf("mode %s: %v", mode, err)
 		}
 	}
-	if err := run("count(//b)", path, "improved", false, false, false, false, 0, 0, 0, nil); err != nil {
+	if err := run("count(//b)", path, "improved", false, false, false, false, false, 0, 0, 0, nil); err != nil {
 		t.Errorf("scalar: %v", err)
 	}
 }
 
 func TestRunExplainAnalyze(t *testing.T) {
 	path := writeXML(t, `<a><b id="1"/><b id="2"/></a>`)
-	if err := run("//b[@id > 1]", path, "improved", false, false, true, false, 0, 0, 0, nil); err != nil {
+	if err := run("//b[@id > 1]", path, "improved", false, false, false, true, false, 0, 0, 0, nil); err != nil {
 		t.Errorf("explain-analyze: %v", err)
 	}
-	if err := run("count(//b)", path, "improved", false, false, true, false, 0, 0, 0, nil); err != nil {
+	if err := run("count(//b)", path, "improved", false, false, false, true, false, 0, 0, 0, nil); err != nil {
 		t.Errorf("explain-analyze scalar: %v", err)
 	}
 }
@@ -51,24 +51,24 @@ func TestRunStoreFile(t *testing.T) {
 	if err := store.Write(path, mem); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("/a/b", path, "improved", true, false, false, true, 8, 0, 0, nil); err != nil {
+	if err := run("/a/b", path, "improved", true, false, false, false, true, 8, 0, 0, nil); err != nil {
 		t.Errorf("store query: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	path := writeXML(t, `<a/>`)
-	if err := run("//b", path, "bogus-mode", false, false, false, false, 0, 0, 0, nil); err == nil {
+	if err := run("//b", path, "bogus-mode", false, false, false, false, false, 0, 0, 0, nil); err == nil {
 		t.Error("bad mode accepted")
 	}
-	if err := run("][", path, "improved", false, false, false, false, 0, 0, 0, nil); err == nil {
+	if err := run("][", path, "improved", false, false, false, false, false, 0, 0, 0, nil); err == nil {
 		t.Error("bad query accepted")
 	}
-	if err := run("//b", filepath.Join(t.TempDir(), "missing.xml"), "improved", false, false, false, false, 0, 0, 0, nil); err == nil {
+	if err := run("//b", filepath.Join(t.TempDir(), "missing.xml"), "improved", false, false, false, false, false, 0, 0, 0, nil); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeXML(t, `<a>`)
-	if err := run("//b", bad, "improved", false, false, false, false, 0, 0, 0, nil); err == nil {
+	if err := run("//b", bad, "improved", false, false, false, false, false, 0, 0, 0, nil); err == nil {
 		t.Error("malformed XML accepted")
 	}
 }
@@ -91,7 +91,7 @@ func TestNamespaceFlag(t *testing.T) {
 		t.Errorf("String() = %q", ns.String())
 	}
 	path := writeXML(t, `<a xmlns:x="urn:p"><x:b/></a>`)
-	if err := run("count(//p:b)", path, "improved", false, false, false, false, 0, 0, 0, ns); err != nil {
+	if err := run("count(//p:b)", path, "improved", false, false, false, false, false, 0, 0, 0, ns); err != nil {
 		t.Errorf("namespaced query: %v", err)
 	}
 }
@@ -99,10 +99,10 @@ func TestNamespaceFlag(t *testing.T) {
 func TestTimeoutAndMemLimitFlags(t *testing.T) {
 	// A generous timeout passes through; a tiny memory budget trips.
 	path := writeXML(t, `<a><b id="1"/><b id="2"/><b id="3"/></a>`)
-	if err := run("//b/@id", path, "improved", false, false, false, false, 0, time.Minute, 0, nil); err != nil {
+	if err := run("//b/@id", path, "improved", false, false, false, false, false, 0, time.Minute, 0, nil); err != nil {
 		t.Errorf("generous timeout: %v", err)
 	}
-	if err := run("//b[@id > 0]/ancestor::a", path, "improved", false, false, false, false, 0, 0, 1, nil); err == nil {
+	if err := run("//b[@id > 0]/ancestor::a", path, "improved", false, false, false, false, false, 0, 0, 1, nil); err == nil {
 		t.Error("1-byte materialization budget accepted")
 	}
 }

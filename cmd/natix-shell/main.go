@@ -33,6 +33,7 @@ import (
 
 func main() {
 	useStore := flag.Bool("store", false, "treat the document as a natix store file")
+	pathIndex := flag.Bool("path-index", false, "enable path-index access-path selection (same as \\pathindex on)")
 	timeout := flag.Duration("timeout", 0, "abort each evaluation after this duration (0 = none)")
 	maxMem := flag.Int64("max-mem", 0, "abort evaluations materializing more than this many bytes (0 = unlimited)")
 	enableMetrics := flag.Bool("metrics", false, "collect engine metrics from startup (same as \\metrics on)")
@@ -70,6 +71,7 @@ func main() {
 	sh := newShell(doc, os.Stdout)
 	sh.timeout = *timeout
 	sh.maxMem = *maxMem
+	sh.pathIndex = *pathIndex
 	fmt.Printf("natix shell — %d nodes loaded; \\help for commands\n", doc.NodeCount())
 	sc := bufio.NewScanner(os.Stdin)
 	for {
@@ -114,7 +116,11 @@ type shell struct {
 	ns      map[string]string
 	timeout time.Duration
 	maxMem  int64
-	plans   *plancache.Cache
+	// pathIndex toggles Options.EnablePathIndex for every compilation of
+	// the session (\pathindex on|off); it is part of the plan-cache key
+	// through OptionsKey, so toggling recompiles naturally.
+	pathIndex bool
+	plans     *plancache.Cache
 }
 
 func newShell(doc dom.Document, out io.Writer) *shell {
@@ -134,7 +140,7 @@ func newShell(doc dom.Document, out io.Writer) *shell {
 // plan. Mode, namespace and limit changes alter the cache key, so they
 // naturally recompile.
 func (s *shell) compile(expr string) (*natix.Prepared, error) {
-	p, _, err := s.plans.GetOrCompile(expr, s.options(), "shell", 1)
+	p, _, err := s.plans.GetOrCompile(expr, s.options(), "shell", 1, 1)
 	return p, err
 }
 
@@ -165,6 +171,7 @@ func (s *shell) help() {
   \analyze <xpath>        run instrumented and show the annotated operator tree
   \metrics on|off|show    toggle metrics collection / dump the registry
   \mode canonical|improved  switch the translation (current shown by \mode)
+  \pathindex on|off       toggle path-index access-path selection
   \set $name <value>      bind a variable (number if numeric, else string)
   \ns prefix=uri          declare a namespace prefix
   \context <xpath>        move the context node to the first result
@@ -175,7 +182,7 @@ func (s *shell) help() {
 }
 
 func (s *shell) options() natix.Options {
-	return natix.Options{Mode: s.mode, Namespaces: s.ns, Limits: natix.Limits{MaxBytes: s.maxMem}}
+	return natix.Options{Mode: s.mode, Namespaces: s.ns, Limits: natix.Limits{MaxBytes: s.maxMem}, EnablePathIndex: s.pathIndex}
 }
 
 // runQuery evaluates under the shell's timeout, if any.
@@ -262,6 +269,18 @@ func (s *shell) command(line string) {
 		default:
 			fmt.Fprint(s.out, metrics.Default.String())
 		}
+	case "pathindex":
+		switch arg {
+		case "on":
+			s.pathIndex = true
+		case "off":
+			s.pathIndex = false
+		case "":
+		default:
+			fmt.Fprintln(s.out, "usage: \\pathindex on|off")
+			return
+		}
+		fmt.Fprintln(s.out, "path index:", s.pathIndex)
 	case "context":
 		q, err := s.compile(arg)
 		if err != nil {

@@ -43,6 +43,8 @@ var engineConfigs = []confEngine{
 	{name: "improved-nostack", opt: Options{Mode: Improved, DisableStacked: true, DisableDupElimPush: true}},
 	{name: "improved-seqprops", opt: Options{Mode: Improved, EnableSequenceAnalysis: true}},
 	{name: "improved-index", opt: Options{Mode: Improved, EnableNameIndex: true}},
+	{name: "improved-pathindex", opt: Options{Mode: Improved, EnablePathIndex: true}},
+	{name: "improved-pathindex-canon", opt: Options{Mode: Canonical, EnablePathIndex: true}},
 }
 
 func TestConformance(t *testing.T) {

@@ -198,9 +198,9 @@ func NewRunner(engine, query string, mem *dom.MemDoc, stored *store.Doc) (*Runne
 	}
 	switch engine {
 	case EngineNatix, EngineNatixMem, EngineNatixScalar, EngineNatixMemScalar,
-		EngineNatixMemW2, EngineNatixMemW4:
+		EngineNatixMemW2, EngineNatixMemW4, EngineNatixPix, EngineNatixMemPix:
 		var doc dom.Document = mem
-		if engine == EngineNatix || engine == EngineNatixScalar {
+		if engine == EngineNatix || engine == EngineNatixScalar || engine == EngineNatixPix {
 			if stored == nil {
 				return nil, fmt.Errorf("bench: %s needs a store image", engine)
 			}
@@ -214,6 +214,8 @@ func NewRunner(engine, query string, mem *dom.MemDoc, stored *store.Doc) (*Runne
 			opt.Workers = 2
 		case EngineNatixMemW4:
 			opt.Workers = 4
+		case EngineNatixPix, EngineNatixMemPix:
+			opt.EnablePathIndex = true
 		}
 		var last natix.Stats
 		return &Runner{

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+
+	"natix/internal/dom"
+	"natix/internal/gen"
+)
+
+// The "-pix" engine twins run the same plans with path-index access-path
+// selection enabled (Options.EnablePathIndex): the selection pass replaces
+// eligible //name chains with a PathIndexScan over the path summary when the
+// cost comparison favours it, turning O(subtree) walks into O(matches)
+// scans. On the store backend the index is read back from the persisted
+// index pages of the image.
+const (
+	EngineNatixPix    = "natix-pix"
+	EngineNatixMemPix = "natix-mem-pix"
+)
+
+// IndexEngines lists the engines of the access-path comparison: each natix
+// backend against its path-index twin.
+var IndexEngines = []string{EngineNatix, EngineNatixPix, EngineNatixMem, EngineNatixMemPix}
+
+// Skewed-vocabulary generator parameters of the index experiment: 16 tags,
+// Zipf exponent 1.5, so t0 covers most of the document and t15 almost none
+// of it. The selectivity spread is what the access-path experiment needs —
+// the walk cost is the same for every //tag query while the index cost
+// tracks the tag's cardinality.
+const (
+	indexTags = 16
+	indexSkew = 1.5
+	indexSeed = 2005
+)
+
+// IndexQueries are the //name probes of the index experiment, ordered from
+// most to least selective. t15 is the rarest tag of the skewed vocabulary
+// (a handful of matches), t5 a mid-frequency one, t0 the dominant tag.
+var IndexQueries = []QuerySpec{
+	{"rare", "//t15"},
+	{"mid", "//t5"},
+	{"common", "//t0"},
+}
+
+// SkewedDoc returns (and caches) the skewed-vocabulary document of the
+// index experiment at the given element count.
+func SkewedDoc(elements int) *dom.MemDoc {
+	key := fmt.Sprintf("skew/%d", elements)
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	if d, ok := cache.mem[key]; ok {
+		return d
+	}
+	d := gen.Generate(gen.Params{
+		Elements: elements,
+		Fanout:   FanoutFor(elements),
+		Tags:     indexTags,
+		Skew:     indexSkew,
+		Seed:     indexSeed,
+	})
+	cache.mem[key] = d
+	return d
+}
+
+// RunIndexComparison sweeps the //name probes over both backends with and
+// without path-index access-path selection — the data behind the index
+// speedup table and the BENCH_PR8.json baseline. The speedup per (query,
+// scale, backend) is the navigation duration over the "-pix" duration; for
+// the rare probe at scale >= 8000 on the store backend the acceptance floor
+// is 5x (guarded by TestIndexSpeedupGuard).
+func RunIndexComparison(cfg Config) ([]Measurement, error) {
+	if len(cfg.Engines) == 0 {
+		cfg.Engines = IndexEngines
+	}
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = SmallSizes
+	}
+	cfg.fill()
+	var out []Measurement
+	for _, size := range cfg.Sizes {
+		mem := SkewedDoc(size)
+		stored, err := StoreImage(fmt.Sprintf("skew/%d", size), mem, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range IndexQueries {
+			for _, engine := range cfg.Engines {
+				r, err := NewRunner(engine, spec.XPath, mem, stored)
+				if err != nil {
+					return nil, err
+				}
+				// One warm-up run per point: the path summary is a
+				// load-time structure built (mem) or decoded (store)
+				// lazily on first use; charging that one-time cost to
+				// whichever probe happens to run first would misstate the
+				// steady state the access-path comparison is about.
+				if _, err := r.Execute(); err != nil {
+					return nil, fmt.Errorf("%s %s on %d: %w", engine, spec.ID, size, err)
+				}
+				d, n, allocs, err := measure(r, cfg.Repeats)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s on %d: %w", engine, spec.ID, size, err)
+				}
+				m := Measurement{Exp: "index", Query: spec.ID, Engine: engine, Scale: size}
+				m.fill(r, d, n, allocs)
+				out = append(out, m)
+				if cfg.Progress != nil {
+					cfg.Progress(m)
+				}
+			}
+		}
+	}
+	return out, nil
+}

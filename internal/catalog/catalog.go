@@ -22,6 +22,7 @@ import (
 
 	"natix/internal/dom"
 	"natix/internal/metrics"
+	"natix/internal/pathindex"
 	"natix/internal/store"
 )
 
@@ -58,6 +59,8 @@ type Info struct {
 	Refs int `json:"refs"`
 	// Retired counts superseded generations still pinned by queries.
 	Retired int `json:"retired_generations,omitempty"`
+	// IndexEpoch is the document's path-index epoch (bumped on reload).
+	IndexEpoch uint64 `json:"index_epoch"`
 }
 
 // generation is one loaded incarnation of a document. Exactly one of mem /
@@ -84,6 +87,18 @@ func (g *generation) closeAll() {
 	g.pool = nil
 }
 
+// retire releases everything a fully drained generation owns: pooled store
+// handles and, for in-memory documents, the process-wide path-index cache
+// entry (the registry is keyed by DocID, so a retired generation's index
+// would otherwise linger for the process lifetime). Caller holds the entry
+// lock.
+func (g *generation) retire() {
+	g.closeAll()
+	if g.mem != nil {
+		pathindex.Drop(g.mem.DocID())
+	}
+}
+
 // entry is one named document: the live generation plus any retired
 // generations still pinned by in-flight queries.
 type entry struct {
@@ -92,6 +107,12 @@ type entry struct {
 	backend Backend
 	live    *generation
 	old     []*generation
+
+	// indexEpoch counts path-index state changes of this document: it
+	// starts at 1 and bumps on every reload (which swaps the document the
+	// index describes). Plan caches key on it so a plan compiled against
+	// one index state is never served after the state changed.
+	indexEpoch uint64
 }
 
 // ReloadPoint names one step of Reload, for fault injection.
@@ -161,6 +182,9 @@ type Handle struct {
 	Name string
 	// Generation identifies the loaded incarnation; plan caches key on it.
 	Generation uint64
+	// IndexEpoch is the document's path-index epoch at acquisition; plan
+	// caches key on it alongside Generation.
+	IndexEpoch uint64
 
 	e    *entry
 	g    *generation
@@ -188,7 +212,7 @@ func (h *Handle) Release() {
 			}
 		}
 		if g.retired && g.refs == 0 {
-			g.closeAll()
+			g.retire()
 			for i, og := range h.e.old {
 				if og == g {
 					h.e.old = append(h.e.old[:i], h.e.old[i+1:]...)
@@ -208,7 +232,7 @@ func (c *Catalog) register(name string, backend Backend, g *generation) error {
 		return fmt.Errorf("catalog: document %q already open", name)
 	}
 	g.gen = 1
-	c.docs[name] = &entry{name: name, backend: backend, live: g}
+	c.docs[name] = &entry{name: name, backend: backend, live: g, indexEpoch: 1}
 	mDocs.Add(1)
 	return nil
 }
@@ -286,7 +310,7 @@ func (c *Catalog) Acquire(name string) (*Handle, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	g := e.live
-	h := &Handle{Name: name, Generation: g.gen, e: e, g: g}
+	h := &Handle{Name: name, Generation: g.gen, IndexEpoch: e.indexEpoch, e: e, g: g}
 	if e.backend == Mem {
 		h.Doc = g.mem
 	} else {
@@ -319,6 +343,17 @@ func (c *Catalog) Generation(name string) (uint64, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.live.gen, nil
+}
+
+// IndexEpoch returns the current path-index epoch of name.
+func (c *Catalog) IndexEpoch(name string) (uint64, error) {
+	e, err := c.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.indexEpoch, nil
 }
 
 // Reload replaces the live generation of name by re-reading its source (the
@@ -390,9 +425,10 @@ func (c *Catalog) Reload(name string) (uint64, error) {
 	old := e.live
 	next.gen = old.gen + 1
 	e.live = next
+	e.indexEpoch++
 	old.retired = true
 	if old.refs == 0 {
-		old.closeAll()
+		old.retire()
 	} else {
 		e.old = append(e.old, old)
 		mRetired.Add(1)
@@ -419,7 +455,7 @@ func (c *Catalog) Close(name string) error {
 	defer e.mu.Unlock()
 	e.live.retired = true
 	if e.live.refs == 0 {
-		e.live.closeAll()
+		e.live.retire()
 	} else {
 		e.old = append(e.old, e.live)
 		mRetired.Add(1)
@@ -459,6 +495,7 @@ func (c *Catalog) List() []Info {
 			Refs:       e.live.refs,
 			Retired:    len(e.old),
 			Nodes:      e.live.nodes,
+			IndexEpoch: e.indexEpoch,
 		}
 		e.mu.Unlock()
 		infos = append(infos, info)

@@ -54,12 +54,20 @@ func (p *Plan) RenderProfile(prof *physical.Profile, res *Result) string {
 }
 
 // ScanTuples sums the tuples produced by the profile's scan-family
-// operators (unnest-maps and index scans) — by construction equal to the
-// run's Stats.Tuples counter; the consistency test in this package holds
-// the two accounts together.
+// operators (unnest-maps, index scans, and path-index scans standing in for
+// a replaced chain) — by construction equal to the run's Stats.Tuples
+// counter; the consistency test in this package holds the two accounts
+// together.
 func (p *Plan) ScanTuples(prof *physical.Profile) int64 {
 	var n int64
 	for op, slot := range p.opSlot {
+		if ap := prof.Access[slot]; ap != nil && ap.Chosen {
+			// A PathIndexScan replaced the chain under this slot; its
+			// output is the whole chain's scan account (the unnest-maps
+			// below it never instantiated and show zero).
+			n += prof.Ops[slot].Out
+			continue
+		}
 		switch op.(type) {
 		case *algebra.UnnestMap, *algebra.IndexScan:
 			n += prof.Ops[slot].Out
@@ -88,6 +96,21 @@ func (p *Plan) analyzeOp(sb *strings.Builder, op algebra.Op, depth int, prof *ph
 		for i, ws := range prof.Workers[slot] {
 			fmt.Fprintf(sb, "%s  || worker %d: batches=%d tuples=%d busy=%s\n",
 				pad, i, ws.Batches, ws.Tuples, fmtDur(ws.Busy))
+		}
+		// An access-path decision of the path-index selection pass attaches
+		// to the candidate chain's top operator: the chosen line compares
+		// the summary's estimate against the actual output of the scan.
+		if ap := prof.Access[slot]; ap != nil {
+			if ap.Chosen {
+				fmt.Fprintf(sb, "%s  => access path: PathIndexScan[%s]  (est=%d actual=%d walk-est=%d)\n",
+					pad, ap.Pattern, ap.Est, st.Out, ap.WalkEst)
+			} else if ap.Reason == "cost" {
+				fmt.Fprintf(sb, "%s  => access path: navigation [%s]  (cost: est=%d walk-est=%d)\n",
+					pad, ap.Pattern, ap.Est, ap.WalkEst)
+			} else {
+				fmt.Fprintf(sb, "%s  => access path: navigation [%s]  (%s)\n",
+					pad, ap.Pattern, ap.Reason)
+			}
 		}
 	} else {
 		fmt.Fprintf(sb, "%s%s\n", pad, op)

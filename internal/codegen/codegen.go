@@ -69,6 +69,11 @@ type Plan struct {
 	cloneFns   map[algebra.Op]cloneFn
 	inBuilders map[algebra.Op]builder
 
+	// pathCand holds the access-path candidates of the path-index selection
+	// pass (pathsel.go), keyed by chain-top operator. Empty unless
+	// MarkPathIndex ran; read-only afterwards.
+	pathCand map[algebra.Op]*pathCand
+
 	// WrapIter, when set, wraps every iterator instantiated for a run.
 	// It is a test hook (leak detection harnesses); set it before any
 	// Run call — it is not synchronized.
@@ -102,6 +107,7 @@ func Compile(res *translate.Result) (*Plan, error) {
 			parSeg:     map[algebra.Op]*parSeg{},
 			cloneFns:   map[algebra.Op]cloneFn{},
 			inBuilders: map[algebra.Op]builder{},
+			pathCand:   map[algebra.Op]*pathCand{},
 		},
 		regs: map[string]int{},
 	}
@@ -401,15 +407,25 @@ func (g *generator) compile(op algebra.Op) (builder, error) {
 	plan := g.plan
 	return func(ex *physical.Exec) physical.Iter {
 		var it physical.Iter
+		// Access-path selection first: a chain the path index answers for
+		// this execution's document — and wins on cost — replaces the whole
+		// subtree with a PathIndexScan. The decision depends on the document,
+		// so it happens at instantiation; buildPathScan returns nil to fall
+		// back (no index, no match, or the walk is cheaper).
+		if pc := plan.pathCand[opRef]; pc != nil {
+			it = plan.buildPathScan(ex, pc, slot)
+		}
 		// An operator topping a parallelizable segment instantiates as an
 		// exchange when this execution can drive one; the serial builder
 		// is the fallback, so store-backed or scalar runs are untouched.
 		// parSeg is populated after the builders are compiled, which is
 		// why the decision happens at instantiation, like batchCol.
-		if si := plan.parSeg[opRef]; si != nil && parallelOK(ex) {
-			it = plan.buildExchange(ex, si, slot)
-		} else {
-			it = b(ex)
+		if it == nil {
+			if si := plan.parSeg[opRef]; si != nil && parallelOK(ex) {
+				it = plan.buildExchange(ex, si, slot)
+			} else {
+				it = b(ex)
+			}
 		}
 		if ex.WrapIter != nil {
 			w := ex.WrapIter(it)
@@ -787,7 +803,13 @@ func (p *Plan) ExplainPhysical() string {
 
 func (p *Plan) explainOp(sb *strings.Builder, op algebra.Op, depth int) {
 	pad := strings.Repeat("  ", depth)
-	fmt.Fprintf(sb, "%s%s\n", pad, op)
+	if pc := p.pathCand[op]; pc != nil {
+		// Candidate chains of the path-index selection pass are decided per
+		// document at instantiation; the physical plan shows where.
+		fmt.Fprintf(sb, "%s%s  <path-index candidate [%s]>\n", pad, op, pc.pattern)
+	} else {
+		fmt.Fprintf(sb, "%s%s\n", pad, op)
+	}
 	for _, prog := range p.progs[op] {
 		sb.WriteString(indent(prog.Disasm(), pad+"  | "))
 	}

@@ -81,7 +81,21 @@ func Configs() []Config {
 		Config{Name: "improved-batch1-w2", Opt: natix.Options{Mode: natix.Improved, Batch: 1, Workers: 2}},
 		Config{Name: "improved-batch16-w4", Opt: natix.Options{Mode: natix.Improved, Batch: 16, Workers: 4}},
 	)
-	return all
+	// Path-index twins: every configuration again with cost-based
+	// access-path selection on. The substitution claims byte-identical
+	// results (order included), so each twin must diff clean against the
+	// reference on both backends — the store backend's cheaper index cost
+	// makes the scan the chosen path on most generated documents, while the
+	// tiny conformance documents mostly exercise the cost fallback.
+	withPix := make([]Config, 0, 2*len(all))
+	for _, c := range all {
+		withPix = append(withPix, c)
+		pix := c
+		pix.Name = c.Name + "-pix"
+		pix.Opt.EnablePathIndex = true
+		withPix = append(withPix, pix)
+	}
+	return withPix
 }
 
 // Item is one corpus entry: a query against a named document.

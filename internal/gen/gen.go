@@ -6,6 +6,7 @@ package gen
 
 import (
 	"fmt"
+	"math/rand"
 
 	"natix/internal/dom"
 )
@@ -22,6 +23,17 @@ type Params struct {
 	// MaxDepth is the maximum number of element levels below the root;
 	// zero means unbounded (the element budget terminates generation).
 	MaxDepth int
+	// Tags, when positive, draws element names from a vocabulary
+	// t0..t(Tags-1) instead of the uniform "e" of the paper's generator.
+	// Names are assigned by frequency rank: t0 is the most common tag,
+	// t(Tags-1) the rarest — the shape the path-index experiments need
+	// (//t0 touches most of the document, //t(Tags-1) almost none of it).
+	Tags int
+	// Skew is the Zipf exponent of the tag distribution (> 1); values
+	// <= 1 mean a uniform draw over the vocabulary.
+	Skew float64
+	// Seed fixes the tag draw so generated documents are reproducible.
+	Seed int64
 }
 
 // Generate builds the document described by p.
@@ -56,9 +68,30 @@ func Generate(p Params) *dom.MemDoc {
 		}
 	}
 
+	// Tag draw for the skewed-vocabulary variant. The names are fixed per
+	// node index before emission so the recursion stays deterministic.
+	var tagOf func(idx int) string
+	if p.Tags > 0 {
+		r := rand.New(rand.NewSource(p.Seed))
+		var draw func() uint64
+		if p.Skew > 1 {
+			z := rand.NewZipf(r, p.Skew, 1, uint64(p.Tags-1))
+			draw = z.Uint64
+		} else {
+			draw = func() uint64 { return uint64(r.Intn(p.Tags)) }
+		}
+		names := make([]string, len(nodes))
+		for i := range names {
+			names[i] = fmt.Sprintf("t%d", draw())
+		}
+		tagOf = func(idx int) string { return names[idx] }
+	} else {
+		tagOf = func(int) string { return "e" }
+	}
+
 	var emit func(idx int)
 	emit = func(idx int) {
-		name := "e"
+		name := tagOf(idx)
 		if idx == 0 {
 			name = "xdoc"
 		}

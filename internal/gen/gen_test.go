@@ -99,6 +99,59 @@ func TestGenerateBreadthFirstProperty(t *testing.T) {
 	}
 }
 
+// TestGenerateSkewedTags: with a tag vocabulary the draw is Zipf-skewed,
+// rank-ordered (t0 most common), deterministic per seed, and the document
+// shape is unchanged from the uniform generator.
+func TestGenerateSkewedTags(t *testing.T) {
+	p := Params{Elements: 4000, Fanout: 6, Tags: 16, Skew: 1.5, Seed: 7}
+	d := Generate(p)
+	if got := CountElements(d); got != 4000 {
+		t.Fatalf("generated %d elements", got)
+	}
+	counts := map[string]int{}
+	for id := dom.NodeID(1); int(id) <= d.NodeCount(); id++ {
+		if d.Kind(id) == dom.KindElement {
+			counts[d.LocalName(id)]++
+		}
+	}
+	if counts["xdoc"] != 1 {
+		t.Fatalf("root count %d", counts["xdoc"])
+	}
+	if counts["e"] != 0 {
+		t.Fatal("skewed draw still produced uniform tag \"e\"")
+	}
+	// Rank order: the head of the vocabulary dominates the tail.
+	if counts["t0"] <= counts["t15"] {
+		t.Errorf("skew inverted: t0=%d t15=%d", counts["t0"], counts["t15"])
+	}
+	if counts["t0"] < 4000/4 {
+		t.Errorf("t0 not dominant: %d of 4000", counts["t0"])
+	}
+	// Determinism per seed; a different seed reshuffles.
+	if dom.SerializeString(Generate(p)) != dom.SerializeString(d) {
+		t.Error("same seed produced different documents")
+	}
+	q := p
+	q.Seed = 8
+	if dom.SerializeString(Generate(q)) == dom.SerializeString(d) {
+		t.Error("different seeds produced identical documents")
+	}
+	// Tags without skew draws uniformly (no tag may dominate).
+	u := Generate(Params{Elements: 4000, Fanout: 6, Tags: 4, Skew: 0, Seed: 7})
+	uc := map[string]int{}
+	for id := dom.NodeID(1); int(id) <= u.NodeCount(); id++ {
+		if u.Kind(id) == dom.KindElement {
+			uc[u.LocalName(id)]++
+		}
+	}
+	for i := 0; i < 4; i++ {
+		name := "t" + strconv.Itoa(i)
+		if uc[name] < 4000/8 {
+			t.Errorf("uniform draw starved %s: %d", name, uc[name])
+		}
+	}
+}
+
 func TestDBLP(t *testing.T) {
 	d := DBLP(DBLPParams{Publications: 500, Seed: 1})
 	root := d.FirstChild(d.Root())

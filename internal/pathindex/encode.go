@@ -1,0 +1,173 @@
+// Serialized form of an Index, used by the store to persist the structural
+// index alongside the document pages. The blob is self-validating: magic,
+// version and node count are checked against the opened document, and a
+// trailing CRC32 over the whole payload catches corruption — any mismatch
+// makes Decode fail and the caller rebuild from the document.
+package pathindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"natix/internal/dom"
+)
+
+// Blob format constants.
+const (
+	// BlobMagic opens every serialized index.
+	BlobMagic = "NXPI"
+	// BlobVersion is the current serialization version. Decode rejects
+	// other versions, which triggers a rebuild, not an error surface.
+	BlobVersion = 1
+)
+
+// Encode serializes the index. Layout (all little-endian):
+//
+//	magic "NXPI" | u32 version | u32 nodeCount | u32 pathCount
+//	post[1..nodeCount]  u32 each
+//	level[1..nodeCount] u16 each
+//	per path: i32 parent | u64 others | str uri | str local |
+//	          u32 nodeCount | u32 NodeID each
+//	u32 CRC32 (IEEE, over everything preceding)
+//
+// Strings are u32 length + bytes. Path depth is not stored; Decode derives
+// it from the parent chain.
+func (ix *Index) Encode() []byte {
+	size := 4 + 4 + 4 + 4 + ix.nodeCount*6
+	for i := range ix.paths {
+		p := &ix.paths[i]
+		size += 4 + 8 + 4 + len(p.URI) + 4 + len(p.Local) + 4 + 4*len(p.Nodes)
+	}
+	size += 4 // CRC
+	buf := make([]byte, 0, size)
+	buf = append(buf, BlobMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, BlobVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ix.nodeCount))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ix.paths)))
+	for _, p := range ix.post[1:] {
+		buf = binary.LittleEndian.AppendUint32(buf, p)
+	}
+	for _, l := range ix.level[1:] {
+		buf = binary.LittleEndian.AppendUint16(buf, l)
+	}
+	for i := range ix.paths {
+		p := &ix.paths[i]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Parent))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Others))
+		buf = appendStr(buf, p.URI)
+		buf = appendStr(buf, p.Local)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Nodes)))
+		for _, id := range p.Nodes {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf
+}
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+// Decode deserializes a blob produced by Encode, validating magic, version,
+// the expected node count and the CRC. Any mismatch returns an error; the
+// caller should fall back to Build.
+func Decode(blob []byte, nodeCount int) (*Index, error) {
+	if len(blob) < 16+4 {
+		return nil, fmt.Errorf("pathindex: blob truncated (%d bytes)", len(blob))
+	}
+	body, tail := blob[:len(blob)-4], blob[len(blob)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("pathindex: blob checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	r := reader{buf: body}
+	if string(r.bytes(4)) != BlobMagic {
+		return nil, fmt.Errorf("pathindex: bad magic")
+	}
+	if v := r.u32(); v != BlobVersion {
+		return nil, fmt.Errorf("pathindex: unsupported version %d", v)
+	}
+	n := int(r.u32())
+	if n != nodeCount {
+		return nil, fmt.Errorf("pathindex: node count mismatch (blob %d, document %d)", n, nodeCount)
+	}
+	pathCount := int(r.u32())
+	if pathCount < 1 || pathCount > len(body)/4 {
+		return nil, fmt.Errorf("pathindex: implausible path count %d", pathCount)
+	}
+	ix := &Index{
+		nodeCount: n,
+		post:      make([]uint32, n+1),
+		level:     make([]uint16, n+1),
+		paths:     make([]Path, 0, pathCount),
+		merged:    map[string][]dom.NodeID{},
+	}
+	for i := 1; i <= n; i++ {
+		ix.post[i] = r.u32()
+	}
+	for i := 1; i <= n; i++ {
+		ix.level[i] = r.u16()
+	}
+	for i := 0; i < pathCount && r.err == nil; i++ {
+		var p Path
+		p.Parent = int32(r.u32())
+		p.Others = int64(r.u64())
+		p.URI = r.str()
+		p.Local = r.str()
+		if p.Parent >= 0 {
+			if int(p.Parent) >= i {
+				return nil, fmt.Errorf("pathindex: path %d: parent %d out of order", i, p.Parent)
+			}
+			p.Depth = ix.paths[p.Parent].Depth + 1
+		}
+		k := int(r.u32())
+		if k > (len(r.buf)-r.off)/4 {
+			return nil, fmt.Errorf("pathindex: path %d: implausible node count %d", i, k)
+		}
+		if k > 0 {
+			p.Nodes = make([]dom.NodeID, k)
+			for j := 0; j < k; j++ {
+				p.Nodes[j] = dom.NodeID(r.u32())
+			}
+		}
+		ix.paths = append(ix.paths, p)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("pathindex: blob truncated mid-record")
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("pathindex: %d trailing bytes", len(body)-r.off)
+	}
+	ix.deriveSubtreeCounts()
+	return ix, nil
+}
+
+// reader is a bounds-checked little-endian cursor; after any overrun every
+// further read yields zeros and err is set.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) bytes(n int) []byte {
+	if n < 0 || n > len(r.buf)-r.off {
+		r.err = fmt.Errorf("overrun")
+		// Numeric reads need at most 8 valid bytes; never mirror a corrupt
+		// length field into an allocation.
+		if n > 8 {
+			n = 8
+		}
+		return make([]byte, n)
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u16() uint16 { return binary.LittleEndian.Uint16(r.bytes(2)) }
+func (r *reader) u32() uint32 { return binary.LittleEndian.Uint32(r.bytes(4)) }
+func (r *reader) u64() uint64 { return binary.LittleEndian.Uint64(r.bytes(8)) }
+func (r *reader) str() string { return string(r.bytes(int(r.u32()))) }

@@ -1,0 +1,84 @@
+package pathindex
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+
+	"natix/internal/dom"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 10; round++ {
+		d := buildRandom(rng, 120)
+		ix := Build(d)
+		blob := ix.Encode()
+		dec, err := Decode(blob, d.NodeCount())
+		if err != nil {
+			t.Fatalf("round %d: Decode: %v", round, err)
+		}
+		if dec.NodeCount() != ix.NodeCount() || dec.PathCount() != ix.PathCount() {
+			t.Fatalf("round %d: counts differ: nodes %d/%d paths %d/%d",
+				round, dec.NodeCount(), ix.NodeCount(), dec.PathCount(), ix.PathCount())
+		}
+		for id := dom.NodeID(1); int(id) <= d.NodeCount(); id++ {
+			if dec.Post(id) != ix.Post(id) || dec.Level(id) != ix.Level(id) {
+				t.Fatalf("round %d: node %d: post/level differ", round, id)
+			}
+		}
+		for i := 0; i < ix.PathCount(); i++ {
+			a, b := &ix.paths[i], &dec.paths[i]
+			if a.Parent != b.Parent || a.URI != b.URI || a.Local != b.Local ||
+				a.Depth != b.Depth || a.Others != b.Others || len(a.Nodes) != len(b.Nodes) {
+				t.Fatalf("round %d: path %d differs: %+v vs %+v", round, i, a, b)
+			}
+			for j := range a.Nodes {
+				if a.Nodes[j] != b.Nodes[j] {
+					t.Fatalf("round %d: path %d node %d differs", round, i, j)
+				}
+			}
+			if ix.subCount[i] != dec.subCount[i] || ix.subOther[i] != dec.subOther[i] {
+				t.Fatalf("round %d: path %d derived counts differ", round, i)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	d := mustParse(t, `<r><a><b/></a><a/></r>`)
+	ix := Build(d)
+	blob := ix.Encode()
+
+	if _, err := Decode(nil, d.NodeCount()); err == nil {
+		t.Error("empty blob accepted")
+	}
+	if _, err := Decode(blob[:len(blob)-1], d.NodeCount()); err == nil {
+		t.Error("truncated blob accepted")
+	}
+	if _, err := Decode(blob, d.NodeCount()+1); err == nil {
+		t.Error("node-count mismatch accepted")
+	}
+	// Every single-byte flip must be caught by the CRC.
+	for i := 0; i < len(blob); i++ {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 0x40
+		if _, err := Decode(mut, d.NodeCount()); err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+	}
+	// A wrong version with a recomputed CRC must still be rejected.
+	mut := append([]byte(nil), blob...)
+	mut[4] = 0xFF
+	mut = reseal(mut)
+	if _, err := Decode(mut, d.NodeCount()); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+// reseal recomputes the trailing CRC after a deliberate mutation.
+func reseal(blob []byte) []byte {
+	body := append([]byte(nil), blob[:len(blob)-4]...)
+	return binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+}

@@ -36,6 +36,25 @@ type WorkerStat struct {
 	Busy    time.Duration
 }
 
+// AccessPath records one access-path decision of an instrumented run: a
+// step chain the path index could in principle answer, whether the
+// PathIndexScan was chosen over axis navigation, and the cost figures the
+// decision compared. The actual output cardinality is the slot's OpStat.Out
+// (the scan replaces the chain under the same operator slot).
+type AccessPath struct {
+	// Pattern is the matched step chain ("descendant::a/child::b").
+	Pattern string
+	// Chosen reports whether the PathIndexScan replaced the chain.
+	Chosen bool
+	// Reason explains a fallback: "no-index" (document has no resolvable
+	// index), "no-match" (the summary refused the chain), "cost" (the walk
+	// estimate beat the index). Empty when chosen.
+	Reason string
+	// Est is the index's exact result cardinality; WalkEst the estimated
+	// node enumerations of the axis walk. Both zero when no match exists.
+	Est, WalkEst int64
+}
+
 // Profile collects the per-operator and per-program statistics of one
 // instrumented execution (Query.ExplainAnalyze). A Profile belongs to a
 // single run and is not safe for concurrent use.
@@ -48,6 +67,10 @@ type Profile struct {
 	// to the per-worker statistics of its exchange. Nil until an exchange
 	// runs.
 	Workers map[int][]WorkerStat
+	// Access maps the operator slot of a path-index candidate chain's top
+	// operator to its access-path decision. Nil until a candidate plan
+	// instantiates. Recorded on the coordinator goroutine only.
+	Access map[int]*AccessPath
 }
 
 // Instrumented wraps an iterator with per-operator accounting. The code

@@ -47,6 +47,12 @@ type Key struct {
 	// reloads a natural invalidation point.
 	Doc string
 	Gen uint64
+	// Epoch is the document's path-index epoch (catalog-maintained, bumped
+	// on index build/drop and on reload). Access-path decisions are made at
+	// plan instantiation against the live index, but keying on the epoch
+	// guarantees a plan compiled before an index state change is never
+	// served after it.
+	Epoch uint64
 }
 
 // OptionsKey canonicalizes compile options into a stable string: equal
@@ -91,6 +97,7 @@ func OptionsKey(o natix.Options) string {
 		{o.DisableSmartAggregation, 'a'},
 		{o.DisablePathRewrite, 'r'},
 		{o.EnableNameIndex, 'N'},
+		{o.EnablePathIndex, 'P'},
 		{o.EnableSequenceAnalysis, 'Q'},
 	}
 	var fs []byte
@@ -217,12 +224,13 @@ func (c *Cache) Put(k Key, p *natix.Prepared) {
 }
 
 // GetOrCompile returns the plan for (query, opt) against document
-// generation (doc, gen), compiling and admitting it on a miss. The compile
-// runs outside the cache lock, so concurrent missers of one key may compile
-// redundantly (last writer wins) — lookups never block behind a slow
-// compile. The boolean reports whether the plan came from cache.
-func (c *Cache) GetOrCompile(query string, opt natix.Options, doc string, gen uint64) (*natix.Prepared, bool, error) {
-	k := Key{Query: query, Opts: OptionsKey(opt), Doc: doc, Gen: gen}
+// generation (doc, gen) at path-index epoch, compiling and admitting it on
+// a miss. The compile runs outside the cache lock, so concurrent missers of
+// one key may compile redundantly (last writer wins) — lookups never block
+// behind a slow compile. The boolean reports whether the plan came from
+// cache.
+func (c *Cache) GetOrCompile(query string, opt natix.Options, doc string, gen, epoch uint64) (*natix.Prepared, bool, error) {
+	k := Key{Query: query, Opts: OptionsKey(opt), Doc: doc, Gen: gen, Epoch: epoch}
 	if p, ok := c.Get(k); ok {
 		return p, true, nil
 	}

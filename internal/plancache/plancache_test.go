@@ -92,11 +92,11 @@ func TestByteBudgetEviction(t *testing.T) {
 
 func TestPutRefreshAndGetOrCompile(t *testing.T) {
 	c := New(4, 0)
-	p1, cached, err := c.GetOrCompile("//x", natix.Options{}, "d", 1)
+	p1, cached, err := c.GetOrCompile("//x", natix.Options{}, "d", 1, 1)
 	if err != nil || cached {
 		t.Fatalf("first lookup: cached=%v err=%v", cached, err)
 	}
-	p2, cached, err := c.GetOrCompile("//x", natix.Options{}, "d", 1)
+	p2, cached, err := c.GetOrCompile("//x", natix.Options{}, "d", 1, 1)
 	if err != nil || !cached {
 		t.Fatalf("second lookup: cached=%v err=%v", cached, err)
 	}
@@ -106,21 +106,25 @@ func TestPutRefreshAndGetOrCompile(t *testing.T) {
 		t.Fatal("cache hit returned a different plan")
 	}
 	// A different generation is a different key.
-	if _, cached, _ := c.GetOrCompile("//x", natix.Options{}, "d", 2); cached {
+	if _, cached, _ := c.GetOrCompile("//x", natix.Options{}, "d", 2, 1); cached {
 		t.Fatal("generation bump served a stale plan")
 	}
+	// A different path-index epoch is a different key.
+	if _, cached, _ := c.GetOrCompile("//x", natix.Options{}, "d", 1, 2); cached {
+		t.Fatal("index-epoch bump served a stale plan")
+	}
 	// Different options are different keys.
-	if _, cached, _ := c.GetOrCompile("//x", natix.Options{Mode: natix.Canonical}, "d", 1); cached {
+	if _, cached, _ := c.GetOrCompile("//x", natix.Options{Mode: natix.Canonical}, "d", 1, 1); cached {
 		t.Fatal("options change served a stale plan")
 	}
-	if _, _, err := c.GetOrCompile("][", natix.Options{}, "d", 1); err == nil {
+	if _, _, err := c.GetOrCompile("][", natix.Options{}, "d", 1, 1); err == nil {
 		t.Fatal("parse error not surfaced")
 	}
 	st := c.Stats()
-	if st.Hits != 1 || st.Misses != 4 {
+	if st.Hits != 1 || st.Misses != 5 {
 		t.Fatalf("stats = %+v", st)
 	}
-	if got := st.HitRate(); got != 0.2 {
+	if got := st.HitRate(); got != 1.0/6.0 {
 		t.Fatalf("hit rate = %v", got)
 	}
 }
@@ -132,7 +136,7 @@ func TestInvalidateOnCatalogReload(t *testing.T) {
 	}
 	c := New(16, 0)
 	gen, _ := cat.Generation("doc")
-	if _, cached, err := c.GetOrCompile("//x", natix.Options{}, "doc", gen); err != nil || cached {
+	if _, cached, err := c.GetOrCompile("//x", natix.Options{}, "doc", gen, 1); err != nil || cached {
 		t.Fatalf("seed: %v %v", cached, err)
 	}
 	c.Put(Key{Query: "//y", Opts: "", Doc: "other", Gen: 1}, natix.MustCompile("//y"))
@@ -145,7 +149,7 @@ func TestInvalidateOnCatalogReload(t *testing.T) {
 	if c.Len() != 1 {
 		t.Fatal("unrelated document invalidated")
 	}
-	if _, cached, _ := c.GetOrCompile("//x", natix.Options{}, "doc", gen+1); cached {
+	if _, cached, _ := c.GetOrCompile("//x", natix.Options{}, "doc", gen+1, 1); cached {
 		t.Fatal("stale plan survived invalidation")
 	}
 	if st := c.Stats(); st.Invalidations != 1 {
@@ -170,7 +174,7 @@ func TestConcurrentStress(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < 200; r++ {
 				q := queries[(g+r)%len(queries)]
-				p, _, err := c.GetOrCompile(q, natix.Options{}, "d", uint64(r%3))
+				p, _, err := c.GetOrCompile(q, natix.Options{}, "d", uint64(r%3), 1)
 				if err != nil {
 					errs <- err
 					return
@@ -211,12 +215,12 @@ func BenchmarkColdCompile(b *testing.B) {
 func BenchmarkCacheHit(b *testing.B) {
 	c := New(4, 0)
 	const q = "/site/people/person[position() = last()]/name"
-	if _, _, err := c.GetOrCompile(q, natix.Options{}, "d", 1); err != nil {
+	if _, _, err := c.GetOrCompile(q, natix.Options{}, "d", 1, 1); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, cached, _ := c.GetOrCompile(q, natix.Options{}, "d", 1); !cached {
+		if _, cached, _ := c.GetOrCompile(q, natix.Options{}, "d", 1, 1); !cached {
 			b.Fatal("unexpected miss")
 		}
 	}

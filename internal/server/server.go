@@ -771,7 +771,8 @@ func (s *Server) costClass(req *QueryRequest) string {
 	if s.cfg.Cache != nil {
 		opt := s.compileOpts(req)
 		if gen, err := s.cfg.Catalog.Generation(req.Document); err == nil {
-			k := plancache.Key{Query: req.Query, Opts: plancache.OptionsKey(opt), Doc: req.Document, Gen: gen}
+			epoch, _ := s.cfg.Catalog.IndexEpoch(req.Document)
+			k := plancache.Key{Query: req.Query, Opts: plancache.OptionsKey(opt), Doc: req.Document, Gen: gen, Epoch: epoch}
 			if plan, ok := s.cfg.Cache.Peek(k); ok {
 				if plan.CostBytes() >= s.cfg.HighCostBytes {
 					return costHigh
@@ -820,7 +821,7 @@ func (s *Server) execute(j *job) {
 	var plan *natix.Prepared
 	cached := false
 	if s.cfg.Cache != nil {
-		plan, cached, err = s.cfg.Cache.GetOrCompile(j.req.Query, opt, h.Name, h.Generation)
+		plan, cached, err = s.cfg.Cache.GetOrCompile(j.req.Query, opt, h.Name, h.Generation, h.IndexEpoch)
 	} else {
 		plan, err = natix.CompileWith(j.req.Query, opt)
 	}

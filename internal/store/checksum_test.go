@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"natix/internal/dom"
+	"natix/internal/pathindex"
 )
 
 // storeImage writes the sample document and returns its bytes.
@@ -40,9 +41,17 @@ func TestEveryPageSealed(t *testing.T) {
 }
 
 func TestChecksumDetectsCorruption(t *testing.T) {
+	mem, err := dom.ParseString(storeSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIx := pathindex.Build(mem).Encode()
 	img := storeImage(t, storeSample)
 	// Flip one bit in every page in turn; opening or scanning must fail,
-	// never return silently wrong data.
+	// never return silently wrong data. The index pages are the exception
+	// by design: their corruption is caught by the blob CRC and degrades to
+	// a rebuild from the (intact) node pages — so the index must come back
+	// identical, never wrong.
 	ps := DefaultPageSize
 	for p := 0; p < len(img)/ps; p++ {
 		bad := append([]byte(nil), img...)
@@ -55,8 +64,13 @@ func TestChecksumDetectsCorruption(t *testing.T) {
 			d.Kind(id)
 			d.Value(id)
 		}
+		ix := d.PathIndex()
 		if d.Err() == nil {
-			t.Errorf("corruption in page %d went undetected", p)
+			if uint32(p) < d.h.indexStart || uint32(p) >= d.h.textStart {
+				t.Errorf("corruption in page %d went undetected", p)
+			} else if ix == nil || !bytes.Equal(ix.Encode(), wantIx) {
+				t.Errorf("index-page %d corruption: rebuilt index differs from the document", p)
+			}
 		}
 	}
 }

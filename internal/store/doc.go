@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"natix/internal/dom"
+	"natix/internal/pathindex"
 )
 
 // Options configure how a store file is opened.
@@ -51,6 +52,13 @@ type Doc struct {
 	// check before any run reports success) — a faulted read yields nil
 	// links, never a wrong answer presented as a correct one.
 	err error
+
+	// pathIx is the lazily resolved structural index: decoded from the
+	// persisted v3 index pages, or rebuilt by traversal for older formats
+	// and on any validation failure. pathIxDone makes the resolution
+	// once-only (Doc is single-goroutine).
+	pathIx     *pathindex.Index
+	pathIxDone bool
 }
 
 var _ dom.Document = (*Doc)(nil)
@@ -139,6 +147,46 @@ func (d *Doc) Close() error {
 	}
 	return nil
 }
+
+// PathIndex implements pathindex.Provider: it returns the document's
+// structural index, decoding the persisted index pages of a version-3 file
+// (CRC-checked; any mismatch — corruption, version skew, node-count drift —
+// falls back to a rebuild by traversal, like opening an older format). The
+// result is cached for the life of the handle. A traversal rebuild on a
+// faulted document may return nil; callers then keep axis navigation, and
+// the sticky fault fails the run through the usual channel.
+func (d *Doc) PathIndex() *pathindex.Index {
+	if d.pathIxDone {
+		return d.pathIx
+	}
+	d.pathIxDone = true
+	if d.h.version >= 3 && d.h.indexBytes > 0 {
+		blob, err := d.buf.readStream(d.h.indexStart, 0, int(d.h.indexBytes))
+		if err == nil {
+			if ix, derr := pathindex.Decode(blob, d.NodeCount()); derr == nil {
+				d.pathIx = ix
+				return d.pathIx
+			}
+		}
+		// Unreadable or invalid index pages: the document data itself may
+		// be fine, so rebuild below instead of surfacing a fault here.
+	}
+	if d.err != nil {
+		// Already-faulted document: a traversal would silently produce a
+		// partial index from nil links. Leave the index absent.
+		return nil
+	}
+	ix := pathindex.Build(d)
+	if d.err != nil {
+		// The rebuild traversal itself faulted; the partial index is
+		// untrustworthy. The sticky fault fails the run regardless.
+		return nil
+	}
+	d.pathIx = ix
+	return d.pathIx
+}
+
+var _ pathindex.Provider = (*Doc)(nil)
 
 // BufferStats returns the buffer manager counters.
 func (d *Doc) BufferStats() BufferStats { return d.buf.stats }

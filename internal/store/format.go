@@ -8,8 +8,13 @@
 //
 //	page 0                      header
 //	pages [nameStart, nodeStart) interned name table (byte stream)
-//	pages [nodeStart, textStart) fixed-size node records
+//	pages [nodeStart, indexStart) fixed-size node records
+//	pages [indexStart, textStart) structural path index blob (format v3+)
 //	pages [textStart, ...)       text segment (byte stream)
+//
+// The index pages sit before the text segment deliberately: value updates
+// may append to the text stream past the original end of file, and the
+// text segment must stay the growable tail.
 //
 // Node records are 64 bytes and addressed by dom.NodeID; IDs are assigned
 // in document order when the file is written, so document-order comparison
@@ -29,8 +34,10 @@ const Magic = "NATX"
 
 // FormatVersion is bumped on incompatible layout changes. Version 2 carries
 // a CRC32 checksum in the last checksumSize bytes of every page, computed
-// over the page's usable prefix; version 1 files (no checksums) still load.
-const FormatVersion = 2
+// over the page's usable prefix; version 3 adds persisted structural path
+// index pages between the node records and the text segment. Version 1 and
+// 2 files still load (their index is rebuilt lazily by traversal).
+const FormatVersion = 3
 
 // checksumSize is the per-page checksum trailer of format version 2.
 const checksumSize = 4
@@ -74,9 +81,15 @@ type header struct {
 	nodeStart uint32 // first node-record page
 	textStart uint32 // first text page
 	textBytes uint64
+
+	// Version 3: the persisted path index blob. indexStart is its first
+	// page, indexBytes its stream length; both zero in older versions
+	// (fields sit in the zero padding of v1/v2 header pages).
+	indexStart uint32
+	indexBytes uint64
 }
 
-const headerSize = 4 + 4 + 4*5 + 8*2
+const headerSize = 4 + 4 + 4*5 + 8*2 + 4 + 8
 
 // usable returns the data bytes per page: everything before the checksum
 // trailer under version 2, the whole page under version 1. All stream and
@@ -116,6 +129,8 @@ func (h *header) encode(buf []byte) {
 	le.PutUint32(buf[24:], h.textStart)
 	le.PutUint64(buf[28:], h.nameBytes)
 	le.PutUint64(buf[36:], h.textBytes)
+	le.PutUint32(buf[44:], h.indexStart)
+	le.PutUint64(buf[48:], h.indexBytes)
 }
 
 func (h *header) decode(buf []byte) error {
@@ -137,6 +152,10 @@ func (h *header) decode(buf []byte) error {
 	h.textStart = le.Uint32(buf[24:])
 	h.nameBytes = le.Uint64(buf[28:])
 	h.textBytes = le.Uint64(buf[36:])
+	if h.version >= 3 {
+		h.indexStart = le.Uint32(buf[44:])
+		h.indexBytes = le.Uint64(buf[48:])
+	}
 	if h.pageSize < MinPageSize {
 		return fmt.Errorf("store: implausible page size %d", h.pageSize)
 	}

@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"natix/internal/dom"
+	"natix/internal/pathindex"
 )
 
 // Write serializes a document into the paged store format at path.
@@ -88,22 +89,32 @@ func writeDoc(w io.Writer, d dom.Document, pageSize, version int) error {
 		}
 	}
 
+	// The structural path index travels with the file from version 3 on;
+	// it is encoded up front so the layout knows its page span.
+	var indexBlob []byte
+	if version >= 3 {
+		indexBlob = pathindex.Build(d).Encode()
+	}
+
 	// Layout. All stream offsets address the concatenation of the pages'
 	// usable prefixes (everything before the version-2 checksum trailer).
 	h := header{
-		version:   uint32(version),
-		pageSize:  uint32(pageSize),
-		nodeCount: nodeCount,
-		nameBytes: 4 + names.size, // count prefix + entries
-		textBytes: textBytes,
+		version:    uint32(version),
+		pageSize:   uint32(pageSize),
+		nodeCount:  nodeCount,
+		nameBytes:  4 + names.size, // count prefix + entries
+		textBytes:  textBytes,
+		indexBytes: uint64(len(indexBlob)),
 	}
 	usable := h.usable()
 	namePages := pagesFor(h.nameBytes, usable)
 	nodesPerPage := uint32(usable / recordSize)
 	nodePages := (nodeCount + nodesPerPage - 1) / nodesPerPage
+	indexPages := pagesFor(h.indexBytes, usable)
 	h.nameStart = 1
 	h.nodeStart = 1 + namePages
-	h.textStart = 1 + namePages + nodePages
+	h.indexStart = h.nodeStart + nodePages
+	h.textStart = h.indexStart + indexPages
 
 	bw := bufio.NewWriterSize(w, pageSize*4)
 	pw := &pageWriter{w: bw, usable: usable, seal: version >= 2}
@@ -158,6 +169,16 @@ func writeDoc(w io.Writer, d dom.Document, pageSize, version int) error {
 	}
 	if err := pw.pad(); err != nil {
 		return err
+	}
+
+	// Path index blob (version 3+).
+	if len(indexBlob) > 0 {
+		if err := pw.write(indexBlob); err != nil {
+			return err
+		}
+		if err := pw.pad(); err != nil {
+			return err
+		}
 	}
 
 	// Text segment.

@@ -144,6 +144,16 @@ type Options struct {
 	// the compiled query.
 	EnableNameIndex bool
 
+	// EnablePathIndex turns on cost-based access-path selection against the
+	// structural path index (internal/pathindex): root-anchored chains of
+	// child/descendant steps whose path-summary match is provably
+	// order-exact are answered by an O(matches) PathIndexScan when the
+	// summary's cardinality estimate beats the axis-walk cost. The index is
+	// persisted in store files and built (then cached) on first use for
+	// in-memory documents; plans compiled with this flag run unchanged —
+	// and fall back to navigation — on documents without an index.
+	EnablePathIndex bool
+
 	// EnableSequenceAnalysis turns on the sequence-level order/duplicate
 	// analysis the paper defers to future work ([13]): statically derived
 	// sequence properties replace the per-axis ppd rule, dropping
@@ -293,6 +303,9 @@ func compileWith(expr string, opt Options) (*Prepared, error) {
 		if opt.Workers > 1 {
 			plan.Workers = opt.Workers
 		}
+	}
+	if opt.EnablePathIndex {
+		plan.MarkPathIndex()
 	}
 	return &Prepared{source: expr, root: root, trans: trans, plan: plan, limits: opt.Limits}, nil
 }

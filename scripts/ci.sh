@@ -52,6 +52,13 @@ NATIX_PERF_GUARD=1 go test -run TestBatchSpeedupGuard -timeout 20m .
 NATIX_PERF_GUARD=1 go test -run TestParallelSpeedupGuard -timeout 20m .
 go test -race -run 'TestConcurrentSharedPreparedParallel|TestPoolBalanceParallel' -timeout 5m -count=1 .
 
+# Index guard: the path-index access path must hit at least 5x over
+# navigation on the selective //name probes of the skewed corpus at 8000
+# elements over the page-backed store (O(subtree) vs O(matches); the
+# committed baseline is BENCH_PR8.json). Self-skips on constrained machines,
+# where the index-enabled difftest twins above still prove correctness.
+NATIX_PERF_GUARD=1 go test -run TestIndexSpeedupGuard -timeout 20m .
+
 # Plan-cache guard: a cache hit must return the identical compiled artifact
 # (pointer identity — no parse/translate/codegen on the hit path), and the
 # benchmark pair quantifies the cold/hot gap.
