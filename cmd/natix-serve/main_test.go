@@ -7,7 +7,6 @@ import (
 	"testing"
 	"time"
 
-	"natix"
 	"natix/internal/catalog"
 	"natix/internal/dom"
 	"natix/internal/store"
@@ -42,14 +41,47 @@ func TestRunRejectsBadChaosSpec(t *testing.T) {
 	if err := os.WriteFile(xmlPath, []byte("<r/>"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := run("127.0.0.1:0", 1, 0, 1, time.Second, time.Second,
-		natix.Limits{}, 8, 1<<20, 0, 0,
-		false, "", "http_latncy=0.2", []string{"d=" + xmlPath})
+	err := run(options{
+		addr: "127.0.0.1:0", workers: 1, queue: 1,
+		timeout: time.Second, maxTimeout: time.Second,
+		cacheEntries: 8, cacheBytes: 1 << 20,
+		chaosSpec: "http_latncy=0.2",
+		args:      []string{"d=" + xmlPath},
+	})
 	if err == nil {
 		t.Fatal("bad chaos spec accepted")
 	}
 	if !strings.Contains(err.Error(), "http_latncy") {
 		t.Fatalf("error %v does not name the bad site", err)
+	}
+}
+
+func TestRunCoordinatorFlagValidation(t *testing.T) {
+	// Coordinator mode without a topology, or with document arguments,
+	// must fail before anything listens.
+	err := run(options{addr: "127.0.0.1:0", coordinator: true})
+	if err == nil || !strings.Contains(err.Error(), "-topology") {
+		t.Fatalf("missing -topology: err = %v", err)
+	}
+	dir := t.TempDir()
+	topoPath := filepath.Join(dir, "cluster.json")
+	topo := `{"generation":1,"shards":[{"id":"s0","endpoints":["http://127.0.0.1:1"]}]}`
+	if err := os.WriteFile(topoPath, []byte(topo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(options{
+		addr: "127.0.0.1:0", coordinator: true, topologyPath: topoPath,
+		args: []string{"d=doc.xml"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "no documents") {
+		t.Fatalf("coordinator with doc args: err = %v", err)
+	}
+	err = run(options{
+		addr: "127.0.0.1:0", coordinator: true,
+		topologyPath: filepath.Join(dir, "missing.json"),
+	})
+	if err == nil {
+		t.Fatal("missing topology file accepted")
 	}
 }
 

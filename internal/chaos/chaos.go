@@ -17,6 +17,7 @@ package chaos
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -62,6 +63,16 @@ const (
 	SiteHTTPLatency = "http_latency"
 	SiteHTTPDrop    = "http_drop"
 	SiteHTTP503     = "http_503"
+	// SiteShardLatency / SiteShardDrop / SiteShard503 are the outbound
+	// twins of the HTTP sites, injected on coordinator→shard calls through
+	// ShardTransport: latency delays the round trip, drop fails it with a
+	// transport error (as a severed connection would), 503 synthesizes a
+	// structured injected-fault response. Each site takes an optional
+	// host:port spec arg restricting injection to one shard endpoint, e.g.
+	// shard_503=0.3:127.0.0.1:9001.
+	SiteShardLatency = "shard_latency"
+	SiteShardDrop    = "shard_drop"
+	SiteShard503     = "shard_503"
 )
 
 var knownSites = map[string]bool{
@@ -69,6 +80,12 @@ var knownSites = map[string]bool{
 	SiteStoreSync: true, SiteCheckpoint: true,
 	SiteReloadOpen: true, SiteReloadLoad: true, SiteReloadInstall: true,
 	SiteHTTPLatency: true, SiteHTTPDrop: true, SiteHTTP503: true,
+	SiteShardLatency: true, SiteShardDrop: true, SiteShard503: true,
+}
+
+// shardSites are the outbound fault sites that accept a host filter arg.
+var shardSites = map[string]bool{
+	SiteShardLatency: true, SiteShardDrop: true, SiteShard503: true,
 }
 
 // Plan is one seeded fault schedule. The zero value injects nothing; use
@@ -78,6 +95,7 @@ type Plan struct {
 	rng      *rand.Rand
 	rates    map[string]float64
 	injected map[string]int64
+	hosts    map[string]string // site → host filter (shard sites only)
 	latency  time.Duration
 	seed     int64
 }
@@ -88,6 +106,7 @@ func New(seed int64) *Plan {
 		rng:      rand.New(rand.NewSource(seed)),
 		rates:    map[string]float64{},
 		injected: map[string]int64{},
+		hosts:    map[string]string{},
 		latency:  5 * time.Millisecond,
 		seed:     seed,
 	}
@@ -135,12 +154,23 @@ func Parse(spec string) (*Plan, error) {
 	p := New(seed)
 	for _, e := range entries {
 		p.Set(e.site, e.rate)
-		if e.site == SiteHTTPLatency && e.arg != "" {
+		switch {
+		case e.site == SiteHTTPLatency && e.arg != "":
 			d, err := time.ParseDuration(e.arg)
 			if err != nil {
 				return nil, fmt.Errorf("chaos: bad latency %q: %w", e.arg, err)
 			}
 			p.SetLatency(d)
+		case e.site == SiteShardLatency && e.arg != "":
+			// The arg is either a delay duration (applies to all shards)
+			// or a host filter — whichever parses as a duration wins.
+			if d, err := time.ParseDuration(e.arg); err == nil {
+				p.SetLatency(d)
+			} else {
+				p.SetShardHost(e.site, e.arg)
+			}
+		case shardSites[e.site] && e.arg != "":
+			p.SetShardHost(e.site, e.arg)
 		}
 	}
 	return p, nil
@@ -316,4 +346,77 @@ func (p *Plan) Middleware(next http.Handler) http.Handler {
 		}
 		next.ServeHTTP(w, r)
 	})
+}
+
+// SetShardHost restricts a shard fault site to requests whose target host
+// matches (host:port, as in the request URL). Empty means all shards.
+func (p *Plan) SetShardHost(site, host string) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hosts[site] = host
+	return p
+}
+
+// tripShard draws for a shard site, honoring its host filter.
+func (p *Plan) tripShard(site, host string) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	filter := p.hosts[site]
+	p.mu.Unlock()
+	if filter != "" && filter != host {
+		return false
+	}
+	return p.Trip(site)
+}
+
+// shardTransport injects the plan's outbound faults on every round trip.
+type shardTransport struct {
+	plan *Plan
+	next http.RoundTripper
+}
+
+// RoundTrip draws the shard sites in a fixed order mirroring Middleware:
+// latency first (a delayed call still completes), then drop, then 503.
+func (t *shardTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	if t.plan.tripShard(SiteShardLatency, host) {
+		select {
+		case <-time.After(t.plan.Latency()):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if t.plan.tripShard(SiteShardDrop, host) {
+		// A transport-level failure, exactly what a severed connection
+		// yields: the retrying client treats it as transient.
+		return nil, fmt.Errorf("%w at %s (%s)", ErrInjected, SiteShardDrop, host)
+	}
+	if t.plan.tripShard(SiteShard503, host) {
+		body := `{"error":{"code":"injected_fault","message":"chaos: injected shard 503","retry_after_ms":10}}` + "\n"
+		return &http.Response{
+			Status:        "503 Service Unavailable",
+			StatusCode:    http.StatusServiceUnavailable,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": {"application/json"}, "Retry-After": {"1"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	return t.next.RoundTrip(req)
+}
+
+// ShardTransport wraps an HTTP round tripper with the plan's outbound
+// shard faults — the coordinator→shard twin of Middleware, wired into the
+// coordinator's transport so scatter-gather retries, partial envelopes and
+// health demotion can be exercised per shard.
+func (p *Plan) ShardTransport(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &shardTransport{plan: p, next: next}
 }

@@ -331,6 +331,9 @@ type DocumentInfo struct {
 	Nodes      int    `json:"nodes"`
 	Refs       int    `json:"refs"`
 	Retired    int    `json:"retired_generations,omitempty"`
+	// IndexEpoch is the document's path-index epoch; cluster coordinators
+	// record it per shard to verify index homogeneity.
+	IndexEpoch uint64 `json:"index_epoch,omitempty"`
 }
 
 // Health is a liveness/readiness probe answer.

@@ -1,0 +1,82 @@
+package client
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Pool configures the per-host connection pool of a client's HTTP
+// transport. The default client rides on http.DefaultClient, whose
+// transport keeps only two idle connections per host — fine for a CLI, but
+// a coordinator fanning a query out to every shard and doing it for many
+// concurrent requests would open and close a TCP connection per call,
+// exhausting ephemeral ports long before the shards saturate. A pooled
+// transport keeps the coordinator→shard connections alive across calls.
+//
+// Zero fields take the documented defaults.
+type Pool struct {
+	// MaxIdleConnsPerHost is the number of idle keep-alive connections
+	// retained per shard endpoint (default 16).
+	MaxIdleConnsPerHost int
+	// MaxConnsPerHost caps total connections per endpoint, bounding the
+	// file descriptors one misbehaving shard can absorb (default 64;
+	// negative means unlimited).
+	MaxConnsPerHost int
+	// DialTimeout bounds TCP connection establishment (default 2s) — a
+	// black-holed shard must fail the dial fast, not hold a fan-out slot
+	// for the OS connect timeout.
+	DialTimeout time.Duration
+	// TLSHandshakeTimeout bounds the TLS handshake (default 2s).
+	TLSHandshakeTimeout time.Duration
+	// IdleConnTimeout closes idle pooled connections (default 90s).
+	IdleConnTimeout time.Duration
+}
+
+func (p Pool) withDefaults() Pool {
+	if p.MaxIdleConnsPerHost <= 0 {
+		p.MaxIdleConnsPerHost = 16
+	}
+	if p.MaxConnsPerHost == 0 {
+		p.MaxConnsPerHost = 64
+	} else if p.MaxConnsPerHost < 0 {
+		p.MaxConnsPerHost = 0 // http.Transport: 0 = unlimited
+	}
+	if p.DialTimeout <= 0 {
+		p.DialTimeout = 2 * time.Second
+	}
+	if p.TLSHandshakeTimeout <= 0 {
+		p.TLSHandshakeTimeout = 2 * time.Second
+	}
+	if p.IdleConnTimeout <= 0 {
+		p.IdleConnTimeout = 90 * time.Second
+	}
+	return p
+}
+
+// Transport builds an *http.Transport with the pool's limits. One
+// transport can back any number of Clients (the pool is per host, and a
+// coordinator wants all its shard clients drawing from one pool).
+func (p Pool) Transport() *http.Transport {
+	p = p.withDefaults()
+	return &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		DialContext:         (&net.Dialer{Timeout: p.DialTimeout, KeepAlive: 30 * time.Second}).DialContext,
+		MaxIdleConnsPerHost: p.MaxIdleConnsPerHost,
+		// MaxIdleConns defaults to 100 in http.Transport and would silently
+		// cap a wide fleet below the per-host budget; scale it out.
+		MaxIdleConns:        0,
+		MaxConnsPerHost:     p.MaxConnsPerHost,
+		TLSHandshakeTimeout: p.TLSHandshakeTimeout,
+		IdleConnTimeout:     p.IdleConnTimeout,
+		ForceAttemptHTTP2:   true,
+	}
+}
+
+// NewPooled returns a client for the service at baseURL whose transport
+// uses a dedicated keep-alive pool instead of http.DefaultClient.
+func NewPooled(baseURL string, seed int64, p Pool) *Client {
+	c := New(baseURL, seed)
+	c.HTTPClient = &http.Client{Transport: p.Transport()}
+	return c
+}

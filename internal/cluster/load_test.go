@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"natix/internal/catalog"
+	"natix/internal/plancache"
+	"natix/internal/server"
+)
+
+// TestCoordinatorConcurrentOrdering hammers a 4-shard coordinator with 64
+// concurrent clients mixing single-document, list, and wildcard queries
+// while probes and a topology re-install run underneath, and asserts every
+// wildcard answer comes back in global document order with the full merged
+// node-set. Run under -race this doubles as the coordinator's data-race
+// gate.
+func TestCoordinatorConcurrentOrdering(t *testing.T) {
+	const docsN = 16
+	corpus := map[string]string{}
+	names := make([]string, 0, docsN)
+	var wantAll []string
+	for i := 0; i < docsN; i++ {
+		name := fmt.Sprintf("d%02d", i)
+		corpus[name] = xdoc(name+"-1", name+"-2")
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		wantAll = append(wantAll, n+"-1", n+"-2")
+	}
+	topo, err := NewTopology(testSpec("s0", "s1", "s2", "s3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byShard := topo.Place(names)
+	placement := make([]map[string]string, 4)
+	for i, id := range topo.ShardIDs() {
+		placement[i] = map[string]string{}
+		for _, n := range byShard[id] {
+			placement[i][n] = corpus[n]
+		}
+	}
+	// A short probe interval keeps the prober racing the queries for real.
+	coord, shards := startCluster(t, placement, Config{ProbeInterval: 5 * time.Millisecond})
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	const clients = 64
+	const perClient = 8
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	fail := func(format string, args ...any) {
+		failures.Add(1)
+		t.Errorf(format, args...)
+	}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				var doc string
+				switch i % 3 {
+				case 0:
+					doc = "*"
+				case 1:
+					doc = names[(c+i)%len(names)]
+				default:
+					doc = names[c%len(names)] + "," + names[(c+5)%len(names)]
+				}
+				body, _ := json.Marshal(QueryRequest{
+					QueryRequest: server.QueryRequest{Query: "//x", Document: doc},
+				})
+				resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					fail("client %d: %v", c, err)
+					return
+				}
+				var qr QueryResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusTooManyRequests {
+					continue // admission shedding is a correct answer under load
+				}
+				if decErr != nil || resp.StatusCode != http.StatusOK {
+					fail("client %d: doc %q: status %d err %v", c, doc, resp.StatusCode, decErr)
+					return
+				}
+				if doc == "*" {
+					if got := nodeValues(qr.Result); !equalStrings(got, wantAll) {
+						fail("client %d: wildcard order broke: %v", c, got)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	// A topology re-install mid-flight: same shard set, new generation —
+	// every carry-over path races live queries and probes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		spec := TopologySpec{Generation: 2}
+		for i, s := range shards {
+			spec.Shards = append(spec.Shards, ShardSpec{ID: fmt.Sprintf("s%d", i), Endpoints: []string{s.URL}})
+		}
+		body, _ := json.Marshal(spec)
+		resp, err := http.Post(ts.URL+"/topology", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fail("topology reload: %v", err)
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fail("topology reload: status %d", resp.StatusCode)
+		}
+	}()
+	wg.Wait()
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d client failures", n)
+	}
+}
+
+// TestClusterThroughputGuard is the scaling acceptance gate: 4 shards at 1
+// worker each must sustain at least 3x the single-document query throughput
+// of one instance at 1 worker, driven by 64 concurrent clients. Opt-in via
+// NATIX_PERF_GUARD (wall-clock sensitive); self-skips below 4 cores, where
+// the shards cannot actually run in parallel.
+//
+//	NATIX_PERF_GUARD=1 go test -run TestClusterThroughputGuard ./internal/cluster/
+func TestClusterThroughputGuard(t *testing.T) {
+	if os.Getenv("NATIX_PERF_GUARD") == "" {
+		t.Skip("set NATIX_PERF_GUARD=1 to run the cluster throughput guard")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("GOMAXPROCS=%d: the 4 shards cannot run in parallel", runtime.GOMAXPROCS(0))
+	}
+	const docsN = 16
+	// A document big enough that evaluation, not HTTP, dominates.
+	var b strings.Builder
+	b.WriteString("<d>")
+	for i := 0; i < 600; i++ {
+		fmt.Fprintf(&b, "<x i=\"%d\"><y>%d</y></x>", i, i)
+	}
+	b.WriteString("</d>")
+	src := b.String()
+	const expr = "count(//x[y mod 7 = 3]/ancestor::d)"
+
+	corpus := map[string]string{}
+	names := make([]string, 0, docsN)
+	for i := 0; i < docsN; i++ {
+		name := fmt.Sprintf("d%02d", i)
+		corpus[name] = src
+		names = append(names, name)
+	}
+
+	newShard := func(docs map[string]string) *httptest.Server {
+		cat := catalog.New()
+		for name, s := range docs {
+			if err := cat.OpenMem(name, strings.NewReader(s)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Workers=1 pins each instance to one evaluation at a time; a big
+		// queue keeps admission from shedding the measurement load.
+		svc := server.New(server.Config{
+			Catalog: cat, Cache: plancache.New(64, 0), Workers: 1, QueueDepth: 4096,
+		})
+		ts := httptest.NewServer(svc.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			svc.Shutdown(ctx)
+			cat.CloseAll()
+		})
+		return ts
+	}
+
+	measure := func(url string) float64 {
+		const clients = 64
+		const window = 2 * time.Second
+		var done atomic.Int64
+		deadline := time.Now().Add(window)
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				httpc := &http.Client{}
+				for i := 0; time.Now().Before(deadline); i++ {
+					body, _ := json.Marshal(server.QueryRequest{
+						Query: expr, Document: names[(c+i)%len(names)],
+					})
+					resp, err := httpc.Post(url+"/query", "application/json", bytes.NewReader(body))
+					if err != nil {
+						continue
+					}
+					if resp.StatusCode == http.StatusOK {
+						done.Add(1)
+					}
+					resp.Body.Close()
+				}
+			}(c)
+		}
+		wg.Wait()
+		return float64(done.Load()) / window.Seconds()
+	}
+
+	// Single instance, all documents, one worker.
+	single := newShard(corpus)
+	singleQPS := measure(single.URL)
+
+	// 4 shards, one worker each, fronted by the coordinator.
+	topo, err := NewTopology(testSpec("s0", "s1", "s2", "s3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byShard := topo.Place(names)
+	spec := TopologySpec{Generation: 1}
+	for _, id := range topo.ShardIDs() {
+		docs := map[string]string{}
+		for _, n := range byShard[id] {
+			docs[n] = corpus[n]
+		}
+		spec.Shards = append(spec.Shards, ShardSpec{ID: id, Endpoints: []string{newShard(docs).URL}})
+	}
+	ctopo, err := NewTopology(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := New(Config{Topology: ctopo, ProbeInterval: time.Hour, MaxInflight: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	coord.ProbeNow(ctx)
+	front := httptest.NewServer(coord.Handler())
+	defer front.Close()
+	clusterQPS := measure(front.URL)
+
+	speedup := clusterQPS / singleQPS
+	t.Logf("single %.0f q/s, 4-shard cluster %.0f q/s, speedup %.2fx", singleQPS, clusterQPS, speedup)
+	if speedup < 3.0 {
+		t.Fatalf("cluster speedup %.2fx < 3x: sharding is not buying parallelism", speedup)
+	}
+}

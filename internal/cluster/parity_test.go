@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+
+	"natix/internal/conformance"
+	"natix/internal/server"
+)
+
+// TestCoordinatorConformanceParity runs every variable-free conformance
+// case through a 4-shard coordinator and through one single-node instance
+// serving the whole corpus, and requires the result payloads to be
+// byte-identical. Sharding is an execution strategy, not a semantics
+// change: the cluster must be indistinguishable from one big server.
+func TestCoordinatorConformanceParity(t *testing.T) {
+	corpus := conformance.Docs
+	topo, err := NewTopology(testSpec("s0", "s1", "s2", "s3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(corpus))
+	for n := range corpus {
+		names = append(names, n)
+	}
+	byShard := topo.Place(names)
+	placement := make([]map[string]string, 4)
+	for i, id := range topo.ShardIDs() {
+		placement[i] = map[string]string{}
+		for _, n := range byShard[id] {
+			placement[i][n] = corpus[n]
+		}
+	}
+	coord, _ := startCluster(t, placement, Config{})
+	h := coord.Handler()
+	single := startShard(t, corpus)
+
+	post := func(t *testing.T, req server.QueryRequest, viaCoord bool) (int, json.RawMessage) {
+		t.Helper()
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var status int
+		var data []byte
+		if viaCoord {
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body)))
+			status, data = w.Code, w.Body.Bytes()
+		} else {
+			resp, err := http.Post(single.URL+"/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			status, data = resp.StatusCode, buf.Bytes()
+		}
+		var fields struct {
+			Result json.RawMessage `json:"result"`
+		}
+		if status == http.StatusOK {
+			if err := json.Unmarshal(data, &fields); err != nil {
+				t.Fatalf("%s @ %s (viaCoord=%v): decode %q: %v", req.Query, req.Document, viaCoord, data, err)
+			}
+		}
+		return status, fields.Result
+	}
+
+	cases, compared := conformance.Cases, 0
+	for _, c := range cases {
+		if c.VarNum != nil || c.VarStr != nil {
+			continue // the HTTP API has no variable bindings
+		}
+		req := server.QueryRequest{
+			Query:      c.Expr,
+			Document:   c.Doc,
+			Namespaces: conformance.Namespaces,
+		}
+		coordStatus, coordResult := post(t, req, true)
+		singleStatus, singleResult := post(t, req, false)
+		if coordStatus != singleStatus {
+			t.Errorf("%s @ %s: status diverges: coordinator %d, single %d",
+				c.Expr, c.Doc, coordStatus, singleStatus)
+			continue
+		}
+		if !bytes.Equal(coordResult, singleResult) {
+			t.Errorf("%s @ %s: result diverges:\n coordinator %s\n single      %s",
+				c.Expr, c.Doc, coordResult, singleResult)
+		}
+		compared++
+	}
+	if compared < 100 {
+		t.Fatalf("only %d conformance cases compared: corpus wiring broken", compared)
+	}
+
+	// Wildcard parity: the scatter-gathered merge over the sharded corpus
+	// equals the concatenation of per-document single-node answers in
+	// sorted document order.
+	sort.Strings(names)
+	for _, expr := range []string{"//*", "descendant::*[1]", "//*[@id]"} {
+		w := httptest.NewRecorder()
+		body, _ := json.Marshal(QueryRequest{QueryRequest: server.QueryRequest{Query: expr, Document: "*"}})
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body)))
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: wildcard status %d: %s", expr, w.Code, w.Body)
+		}
+		merged := decodeCoord(t, w.Body.Bytes())
+		var want []server.QueryNode
+		for _, n := range names {
+			resp, err := http.Post(single.URL+"/query", "application/json",
+				bytes.NewReader(mustJSON(t, server.QueryRequest{Query: expr, Document: n})))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var qr server.QueryResponse
+			if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			want = append(want, qr.Result.Nodes...)
+		}
+		got := mustJSON(t, merged.Result.Nodes)
+		if !bytes.Equal(got, mustJSON(t, want)) {
+			t.Errorf("%s: wildcard merge diverges from single-node concatenation", expr)
+		}
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func testSpec(ids ...string) TopologySpec {
+	sp := TopologySpec{Generation: 1}
+	for i, id := range ids {
+		sp.Shards = append(sp.Shards, ShardSpec{
+			ID:        id,
+			Endpoints: []string{fmt.Sprintf("http://127.0.0.1:%d", 9000+i)},
+		})
+	}
+	return sp
+}
+
+func TestTopologyValidation(t *testing.T) {
+	for name, spec := range map[string]TopologySpec{
+		"no shards": {Generation: 1},
+		"empty id": {Shards: []ShardSpec{
+			{ID: "", Endpoints: []string{"http://h:1"}},
+		}},
+		"duplicate id": {Shards: []ShardSpec{
+			{ID: "a", Endpoints: []string{"http://h:1"}},
+			{ID: "a", Endpoints: []string{"http://h:2"}},
+		}},
+		"no endpoints": {Shards: []ShardSpec{{ID: "a"}}},
+		"bad endpoint scheme": {Shards: []ShardSpec{
+			{ID: "a", Endpoints: []string{"ftp://h:1"}},
+		}},
+		"endpoint without host": {Shards: []ShardSpec{
+			{ID: "a", Endpoints: []string{"http://"}},
+		}},
+		"negative vnodes": {VNodes: -1, Shards: []ShardSpec{
+			{ID: "a", Endpoints: []string{"http://h:1"}},
+		}},
+	} {
+		if _, err := NewTopology(spec); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := ParseTopology([]byte(`{"shards": [`)); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}
+
+func TestOwnerDeterministicAndBalanced(t *testing.T) {
+	t1, err := NewTopology(testSpec("s0", "s1", "s2", "s3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := NewTopology(testSpec("s0", "s1", "s2", "s3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.VNodes() != defaultVNodes {
+		t.Fatalf("vnodes defaulted to %d, want %d", t1.VNodes(), defaultVNodes)
+	}
+	perShard := map[string]int{}
+	for i := 0; i < 400; i++ {
+		doc := fmt.Sprintf("doc-%03d", i)
+		o := t1.Owner(doc)
+		if o2 := t2.Owner(doc); o2 != o {
+			t.Fatalf("owner(%s) differs across identical rings: %s vs %s", doc, o, o2)
+		}
+		perShard[o]++
+	}
+	// 400 documents over 4 shards with 64 vnodes each: every shard must own
+	// a meaningful slice. The exact split is hash-determined; the guard is
+	// against a degenerate ring, not a perfect one.
+	for _, id := range t1.ShardIDs() {
+		if perShard[id] < 40 {
+			t.Errorf("shard %s owns only %d/400 documents: degenerate ring", id, perShard[id])
+		}
+	}
+}
+
+func TestOwnerStabilityUnderShardAddition(t *testing.T) {
+	before, err := NewTopology(testSpec("s0", "s1", "s2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewTopology(testSpec("s0", "s1", "s2", "s3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consistent hashing's contract: adding a shard only moves documents TO
+	// the new shard; a document not claimed by s3 keeps its old owner.
+	moved := 0
+	for i := 0; i < 400; i++ {
+		doc := fmt.Sprintf("doc-%03d", i)
+		o1, o2 := before.Owner(doc), after.Owner(doc)
+		if o1 == o2 {
+			continue
+		}
+		if o2 != "s3" {
+			t.Fatalf("owner(%s) moved %s -> %s, not to the new shard", doc, o1, o2)
+		}
+		moved++
+	}
+	if moved == 0 || moved > 200 {
+		t.Errorf("adding 1 shard to 3 moved %d/400 documents, want roughly a quarter", moved)
+	}
+}
+
+func TestPlacePartitionsSorted(t *testing.T) {
+	topo, err := NewTopology(testSpec("s0", "s1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []string{"zeta", "alpha", "mid", "beta"}
+	byShard := topo.Place(docs)
+	total := 0
+	for id, list := range byShard {
+		if _, ok := topo.Shard(id); !ok {
+			t.Fatalf("Place used unknown shard %q", id)
+		}
+		for i := 1; i < len(list); i++ {
+			if list[i-1] >= list[i] {
+				t.Fatalf("shard %s list not sorted: %v", id, list)
+			}
+		}
+		for _, d := range list {
+			if topo.Owner(d) != id {
+				t.Fatalf("Place put %s on %s but Owner says %s", d, id, topo.Owner(d))
+			}
+		}
+		total += len(list)
+	}
+	if total != len(docs) {
+		t.Fatalf("Place covered %d/%d documents", total, len(docs))
+	}
+}
+
+func TestTopologySaveLoadRoundtrip(t *testing.T) {
+	spec := testSpec("s0", "s1", "s2")
+	spec.Generation = 7
+	spec.VNodes = 16
+	topo, err := NewTopology(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := topo.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTopologyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation() != 7 || got.VNodes() != 16 || len(got.ShardIDs()) != 3 {
+		t.Fatalf("roundtrip: gen=%d vnodes=%d shards=%v", got.Generation(), got.VNodes(), got.ShardIDs())
+	}
+	for i := 0; i < 100; i++ {
+		doc := fmt.Sprintf("doc-%d", i)
+		if topo.Owner(doc) != got.Owner(doc) {
+			t.Fatalf("owner(%s) changed across save/load: %s vs %s", doc, topo.Owner(doc), got.Owner(doc))
+		}
+	}
+	if _, err := LoadTopologyFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -11,6 +11,7 @@
 //	GET  /healthz        legacy probe (liveness + state summary)
 //	GET  /healthz/live   liveness: 200 while the process serves at all
 //	GET  /healthz/ready  readiness: 200 only in the healthy state
+//	GET  /buildinfo      build identity (version, store format, features)
 //	GET  /metrics        Prometheus text dump of the default registry
 //
 // Admission control is explicit: at most Workers queries execute at once
@@ -38,6 +39,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"sync"
@@ -149,6 +151,11 @@ type Config struct {
 	// engine's capability gate falls back when the document's buffer
 	// manager is single-goroutine.
 	QueryWorkers int
+
+	// PathIndex enables cost-based path-index access-path selection in
+	// served plans (natix.Options.EnablePathIndex). Reported on
+	// GET /buildinfo so cluster operators can verify shard homogeneity.
+	PathIndex bool
 }
 
 func (c Config) withDefaults() Config {
@@ -531,6 +538,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/healthz/live", s.handleLive)
 	mux.HandleFunc("/healthz/ready", s.handleReady)
+	mux.HandleFunc("/buildinfo", s.handleBuildInfo)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		metrics.Default.WritePrometheus(w)
@@ -753,9 +761,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // two would silently misclassify every cached plan.
 func (s *Server) compileOpts(req *QueryRequest) natix.Options {
 	opt := natix.Options{
-		Namespaces: req.Namespaces,
-		Limits:     s.cfg.Limits,
-		Workers:    s.cfg.QueryWorkers,
+		Namespaces:      req.Namespaces,
+		Limits:          s.cfg.Limits,
+		Workers:         s.cfg.QueryWorkers,
+		EnablePathIndex: s.cfg.PathIndex,
 	}
 	if req.Mode == "canonical" {
 		opt.Mode = natix.Canonical
@@ -865,6 +874,13 @@ func (s *Server) serialize(res *natix.Result) QueryResult {
 		return QueryResult{Kind: "boolean", Boolean: &b}
 	case xval.KindNumber:
 		n := v.N
+		if math.IsNaN(n) || math.IsInf(n, 0) {
+			// JSON has no NaN or Infinity: encoding them would fail after
+			// the 200 header is out, leaving an empty body. Ship the XPath
+			// string() form in String instead; Number stays absent.
+			str := xval.FormatNumber(n)
+			return QueryResult{Kind: "number", String: &str}
+		}
 		return QueryResult{Kind: "number", Number: &n}
 	case xval.KindString:
 		str := v.S

@@ -39,6 +39,10 @@ import (
 	"natix/internal/xval"
 )
 
+// Version identifies the engine build; serving processes report it on
+// GET /buildinfo so cluster operators can verify shard homogeneity.
+const Version = "0.9.0"
+
 // Engine-level metrics, registered on the process-wide default registry.
 // Collection is gated by metrics.Enabled(), so ordinary runs pay one atomic
 // load per compile/run and nothing per tuple.

@@ -92,3 +92,122 @@ curl -sf "$SERVE_URL/documents" | grep -q '"name":"books"'
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 grep -q 'drained' "$SMOKE_DIR/serve.err"
+
+# Cluster gate, part 1 (in-process): the conformance corpus through a
+# 4-shard coordinator must be byte-identical to single-node answers, and 64
+# concurrent clients mixing wildcard/list/single queries against racing
+# probes and a topology re-install must always see global document order.
+go test -race -run 'TestCoordinatorConformanceParity|TestCoordinatorConcurrentOrdering|TestReloadGenerationRetirementRace' -timeout 5m -count=1 ./internal/cluster/ ./internal/server/
+
+# Cluster gate, part 2 (process-level): spawn 4 shard processes and a
+# coordinator on loopback ports, lay an 8-document corpus across the
+# shards, and check through real HTTP what the in-process tests checked in
+# miniature: single-document routing, the globally ordered wildcard merge
+# diffed against single-node answers, the explicit partial envelope when a
+# shard is killed, and a clean coordinator drain.
+CLUSTER_PIDS=""
+trap 'kill $CLUSTER_PIDS 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+DOC_I=0
+SHARD_URLS=""
+for SHARD in 0 1 2 3; do
+    DOCS=""
+    for N in $(seq 1 2); do
+        NAME=$(printf 'doc%02d' "$DOC_I")
+        printf '<d><v>%s</v></d>' "$NAME" > "$SMOKE_DIR/$NAME.xml"
+        DOCS="$DOCS $NAME=$SMOKE_DIR/$NAME.xml"
+        DOC_I=$((DOC_I + 1))
+    done
+    "$SMOKE_DIR/natix-serve" -addr 127.0.0.1:0 $DOCS \
+        > "$SMOKE_DIR/shard$SHARD.out" 2> "$SMOKE_DIR/shard$SHARD.err" &
+    CLUSTER_PIDS="$CLUSTER_PIDS $!"
+done
+for SHARD in 0 1 2 3; do
+    for i in $(seq 1 50); do
+        grep -q 'listening on' "$SMOKE_DIR/shard$SHARD.out" && break
+        sleep 0.1
+    done
+    URL=$(sed -n 's/^natix-serve: listening on //p' "$SMOKE_DIR/shard$SHARD.out")
+    [ -n "$URL" ]
+    SHARD_URLS="$SHARD_URLS $URL"
+done
+# One more instance serving the whole corpus: the single-node reference.
+ALL_DOCS=""
+DOC_I=0
+while [ "$DOC_I" -lt 8 ]; do
+    NAME=$(printf 'doc%02d' "$DOC_I")
+    ALL_DOCS="$ALL_DOCS $NAME=$SMOKE_DIR/$NAME.xml"
+    DOC_I=$((DOC_I + 1))
+done
+"$SMOKE_DIR/natix-serve" -addr 127.0.0.1:0 $ALL_DOCS \
+    > "$SMOKE_DIR/single.out" 2> "$SMOKE_DIR/single.err" &
+CLUSTER_PIDS="$CLUSTER_PIDS $!"
+for i in $(seq 1 50); do
+    grep -q 'listening on' "$SMOKE_DIR/single.out" && break
+    sleep 0.1
+done
+SINGLE_URL=$(sed -n 's/^natix-serve: listening on //p' "$SMOKE_DIR/single.out")
+[ -n "$SINGLE_URL" ]
+{
+    printf '{"generation":1,"shards":['
+    SEP=""
+    ID=0
+    for URL in $SHARD_URLS; do
+        printf '%s{"id":"s%d","endpoints":["%s"]}' "$SEP" "$ID" "$URL"
+        SEP=","
+        ID=$((ID + 1))
+    done
+    printf ']}\n'
+} > "$SMOKE_DIR/cluster.json"
+"$SMOKE_DIR/natix-serve" -coordinator -topology "$SMOKE_DIR/cluster.json" \
+    -addr 127.0.0.1:0 -probe-interval 100ms \
+    > "$SMOKE_DIR/coord.out" 2> "$SMOKE_DIR/coord.err" &
+COORD_PID=$!
+CLUSTER_PIDS="$CLUSTER_PIDS $COORD_PID"
+for i in $(seq 1 50); do
+    grep -q 'listening on' "$SMOKE_DIR/coord.out" && break
+    sleep 0.1
+done
+COORD_URL=$(sed -n 's/^natix-serve: listening on //p' "$SMOKE_DIR/coord.out")
+[ -n "$COORD_URL" ]
+# Let the prober discover every shard's catalog before routing on it.
+for i in $(seq 1 50); do
+    curl -sf "$COORD_URL/documents" | grep -q '"name":"doc07"' && break
+    sleep 0.1
+done
+curl -sf "$COORD_URL/buildinfo" | grep -q '"role":"coordinator"'
+curl -sf "$COORD_URL/healthz" | grep -q '"status":"ok"'
+# Single-document routing through the coordinator answers the shard's data.
+curl -sf "$COORD_URL/query" -d '{"query":"string(//v)","document":"doc05"}' | grep -q '"string":"doc05"'
+# Wildcard merge vs single-node: the coordinator's merged node list must be
+# exactly the concatenation of per-document single-node answers in sorted
+# document order.
+EXPECT=""
+DOC_I=0
+while [ "$DOC_I" -lt 8 ]; do
+    NAME=$(printf 'doc%02d' "$DOC_I")
+    NODES=$(curl -sf "$SINGLE_URL/query" -d "{\"query\":\"//v\",\"document\":\"$NAME\"}" \
+        | sed -n 's/.*"nodes":\[\([^]]*\)\].*/\1/p')
+    [ -n "$NODES" ]
+    EXPECT="$EXPECT,$NODES"
+    DOC_I=$((DOC_I + 1))
+done
+EXPECT="[${EXPECT#,}]"
+curl -sf "$COORD_URL/query" -d '{"query":"//v","document":"*"}' > "$SMOKE_DIR/wild.json"
+grep -qF "\"nodes\":$EXPECT" "$SMOKE_DIR/wild.json"
+grep -q '"count":8' "$SMOKE_DIR/wild.json"
+# Kill one shard; after the prober's hysteresis the wildcard still answers
+# with an explicit partial envelope naming the lost documents, and the
+# non-partial form fails with the shard_unreachable code.
+LAST_SHARD_PID=$(echo "$CLUSTER_PIDS" | awk '{print $4}')
+kill -KILL "$LAST_SHARD_PID"
+sleep 1
+curl -sf "$COORD_URL/query" -d '{"query":"//v","document":"*","allow_partial":true}' > "$SMOKE_DIR/partial.json"
+grep -q '"partial":true' "$SMOKE_DIR/partial.json"
+grep -q '"code":"shard_unreachable"' "$SMOKE_DIR/partial.json"
+grep -q '"value":"doc05"' "$SMOKE_DIR/partial.json"
+curl -s "$COORD_URL/query" -d '{"query":"//v","document":"*"}' | grep -q '"code":"shard_unreachable"'
+curl -sf "$COORD_URL/healthz" | grep -q '"status":"degraded"'
+curl -sf "$COORD_URL/topology" | grep -q '"healthy":false'
+kill -TERM "$COORD_PID"
+wait "$COORD_PID"
+grep -q 'drained' "$SMOKE_DIR/coord.err"
