@@ -1,0 +1,202 @@
+package natix_test
+
+// TestAdaptiveServeGuard is the adaptive-serving acceptance gate: under a
+// skewed (Zipf) 64-client workload of duplicate-heavy queries, the serving
+// layer's singleflight must (a) execute each burst of identical requests
+// once — every request is either the leader of its flight or a coalesced
+// joiner — and (b) cut tail latency by at least 2x against the same
+// workload with singleflight disabled. The workload draws from the
+// internal/gen tag vocabulary (t0 hottest, per the generator's frequency
+// ranking) and submits each query under two spellings, so the canonical
+// flight key, not exact text match, is what coalesces.
+//
+// Opt-in via NATIX_PERF_GUARD (wall-clock sensitive); self-skips below 4
+// cores, where the client fan-in cannot actually contend. Writes the
+// measured rows to BENCH_PR10.json.
+//
+//	NATIX_PERF_GUARD=1 go test -run TestAdaptiveServeGuard
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"natix"
+	"natix/internal/catalog"
+	"natix/internal/gen"
+	"natix/internal/plancache"
+	"natix/internal/server"
+)
+
+func TestAdaptiveServeGuard(t *testing.T) {
+	if os.Getenv("NATIX_PERF_GUARD") == "" {
+		t.Skip("set NATIX_PERF_GUARD=1 to run the adaptive serving guard")
+	}
+	if cores := runtime.GOMAXPROCS(0); cores < 4 {
+		t.Skipf("GOMAXPROCS=%d: 64 clients against 2 workers cannot contend", cores)
+	}
+
+	const (
+		tags      = 12
+		clients   = 64
+		perClient = 30
+		zipfS     = 1.5
+	)
+	doc := gen.Generate(gen.Params{
+		Elements: 20000, Fanout: 4, Tags: tags, Skew: 1.3, Seed: 10,
+	})
+
+	// Each tag yields one logical query under two spellings; the Zipf draw
+	// below is over logical queries, so the hottest queries arrive both
+	// abbreviated and unabbreviated and only canonicalization can coalesce
+	// the pair.
+	spellings := make([][2]string, tags)
+	expected := make([]float64, tags)
+	root := natix.RootNode(doc)
+	for k := 0; k < tags; k++ {
+		spellings[k] = [2]string{
+			fmt.Sprintf("count(//t%d)", k),
+			fmt.Sprintf("count(/descendant::t%d)", k),
+		}
+		res, err := natix.MustCompile(spellings[k][0]).Run(root, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected[k] = res.Value.N
+	}
+
+	type outcome struct {
+		p50, p99  time.Duration
+		executed  int64
+		coalesced int64
+		requests  int
+	}
+	run := func(disableSingleflight bool) outcome {
+		cat := catalog.New()
+		if err := cat.OpenMemDoc("d", doc); err != nil {
+			t.Fatal(err)
+		}
+		s := server.New(server.Config{
+			Catalog:             cat,
+			Cache:               plancache.New(256, 0),
+			Workers:             2,
+			QueueDepth:          4 * clients,
+			DefaultTimeout:      60 * time.Second,
+			DisableSingleflight: disableSingleflight,
+		})
+		ts := httptest.NewServer(s.Handler())
+		defer func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			s.Shutdown(ctx)
+			cat.CloseAll()
+		}()
+
+		latencies := make([]time.Duration, clients*perClient)
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(1000 + c)))
+				zipf := rand.NewZipf(rng, zipfS, 1, tags-1)
+				httpc := &http.Client{}
+				for j := 0; j < perClient; j++ {
+					k := int(zipf.Uint64())
+					q := spellings[k][rng.Intn(2)]
+					body, _ := json.Marshal(server.QueryRequest{Query: q, Document: "d"})
+					t0 := time.Now()
+					resp, err := httpc.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+					lat := time.Since(t0)
+					if err != nil {
+						t.Errorf("client %d: %v", c, err)
+						return
+					}
+					var qr server.QueryResponse
+					dec := json.NewDecoder(resp.Body)
+					derr := dec.Decode(&qr)
+					resp.Body.Close()
+					if derr != nil || resp.StatusCode != http.StatusOK {
+						t.Errorf("client %d: status %d decode %v", c, resp.StatusCode, derr)
+						return
+					}
+					if qr.Result.Number == nil || *qr.Result.Number != expected[k] {
+						t.Errorf("client %d: %s = %v, want %v", c, q, qr.Result.Number, expected[k])
+						return
+					}
+					latencies[c*perClient+j] = lat
+				}
+			}(c)
+		}
+		wg.Wait()
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		cnt := s.Counters()
+		return outcome{
+			p50:       latencies[len(latencies)/2],
+			p99:       latencies[len(latencies)*99/100],
+			executed:  cnt.Executed,
+			coalesced: cnt.Coalesced,
+			requests:  len(latencies),
+		}
+	}
+
+	on := run(false)
+	off := run(true)
+	t.Logf("singleflight on:  p50 %v p99 %v executed %d coalesced %d of %d",
+		on.p50, on.p99, on.executed, on.coalesced, on.requests)
+	t.Logf("singleflight off: p50 %v p99 %v executed %d coalesced %d of %d",
+		off.p50, off.p99, off.executed, off.coalesced, off.requests)
+
+	// Duplicates execute once: every request either led its flight (one
+	// engine run) or joined one — the two counters partition the workload.
+	if on.executed+on.coalesced != int64(on.requests) {
+		t.Errorf("executed %d + coalesced %d != requests %d",
+			on.executed, on.coalesced, on.requests)
+	}
+	if on.coalesced == 0 {
+		t.Error("Zipf workload produced no coalesced executions")
+	}
+	if off.coalesced != 0 || off.executed != int64(off.requests) {
+		t.Errorf("singleflight off: executed %d coalesced %d, want %d/0",
+			off.executed, off.coalesced, off.requests)
+	}
+	if off.p99 < 2*on.p99 {
+		t.Errorf("p99 with singleflight %v is not 2x better than without (%v)", on.p99, off.p99)
+	}
+
+	type row struct {
+		Exp       string `json:"exp"`
+		Mode      string `json:"mode"`
+		Clients   int    `json:"clients"`
+		Requests  int    `json:"requests"`
+		Executed  int64  `json:"executed"`
+		Coalesced int64  `json:"coalesced"`
+		P50US     int64  `json:"p50_us"`
+		P99US     int64  `json:"p99_us"`
+	}
+	rows := []row{
+		{Exp: "adaptive", Mode: "singleflight", Clients: clients, Requests: on.requests,
+			Executed: on.executed, Coalesced: on.coalesced,
+			P50US: on.p50.Microseconds(), P99US: on.p99.Microseconds()},
+		{Exp: "adaptive", Mode: "no-singleflight", Clients: clients, Requests: off.requests,
+			Executed: off.executed, Coalesced: off.coalesced,
+			P50US: off.p50.Microseconds(), P99US: off.p99.Microseconds()},
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_PR10.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

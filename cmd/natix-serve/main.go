@@ -111,6 +111,11 @@ type options struct {
 	debugAddr    string
 	chaosSpec    string
 
+	profilePath    string
+	warmTopK       int
+	noSingleflight bool
+	noNormalize    bool
+
 	coordinator   bool
 	topologyPath  string
 	maxInflight   int
@@ -136,6 +141,10 @@ func main() {
 	flag.IntVar(&o.maxNodes, "max-result-nodes", 0, "serialized nodes per response before truncation (0 = default 10000)")
 	flag.IntVar(&o.bufPages, "buffer", 0, "store buffer capacity in pages per handle (0 = default)")
 	flag.BoolVar(&o.pathIndex, "path-index", false, "enable cost-based path-index access-path selection in served plans")
+	flag.StringVar(&o.profilePath, "profile", "", "workload profile file: loaded at startup, top-K entries per document saved at shutdown (empty = in-memory only)")
+	flag.IntVar(&o.warmTopK, "warm-topk", 0, "hottest profiled queries recompiled per document on reload and /warm (0 = default 8, negative disables warming)")
+	flag.BoolVar(&o.noSingleflight, "no-singleflight", false, "do not coalesce identical in-flight query executions")
+	flag.BoolVar(&o.noNormalize, "no-normalize", false, "do not canonicalize query text for plan-cache and singleflight keys")
 	flag.BoolVar(&o.metrics, "metrics", true, "collect engine metrics (served at /metrics either way)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "also serve /metrics and /debug/pprof on this address")
 	flag.StringVar(&o.chaosSpec, "chaos", "", "fault-injection plan for soak runs, e.g. seed=42,http_latency=0.2:5ms,http_drop=0.05,http_503=0.05,read=0.02,reload_open=0.1 (NEVER in production)")
@@ -218,6 +227,11 @@ func runShard(o options, plan *chaos.Plan) error {
 		Limits:         o.limits,
 		MaxResultNodes: o.maxNodes,
 		PathIndex:      o.pathIndex,
+
+		ProfilePath:          o.profilePath,
+		WarmTopK:             o.warmTopK,
+		DisableSingleflight:  o.noSingleflight,
+		DisableNormalization: o.noNormalize,
 	})
 
 	handler := svc.Handler()
@@ -250,6 +264,8 @@ func runCoordinator(o options, plan *chaos.Plan) error {
 		DefaultTimeout: o.timeout,
 		MaxTimeout:     o.maxTimeout,
 		ProbeInterval:  o.probeInterval,
+
+		DisableSingleflight: o.noSingleflight,
 	}
 	if plan != nil {
 		// Outbound coordinator→shard faults ride the transport; inbound

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"natix"
+	"natix/internal/canon"
 	"natix/internal/dom"
 	"natix/internal/metrics"
 	"natix/internal/plancache"
@@ -120,7 +121,11 @@ type shell struct {
 	// the session (\pathindex on|off); it is part of the plan-cache key
 	// through OptionsKey, so toggling recompiles naturally.
 	pathIndex bool
-	plans     *plancache.Cache
+	// canon routes every compilation through the canonicalizer
+	// (\canon on|off), so syntactic variants of one query share a plan;
+	// \canon <xpath> prints the canonical form without evaluating.
+	canon bool
+	plans *plancache.Cache
 }
 
 func newShell(doc dom.Document, out io.Writer) *shell {
@@ -140,6 +145,10 @@ func newShell(doc dom.Document, out io.Writer) *shell {
 // plan. Mode, namespace and limit changes alter the cache key, so they
 // naturally recompile.
 func (s *shell) compile(expr string) (*natix.Prepared, error) {
+	if s.canon {
+		p, _, _, err := s.plans.GetOrCompileCanonical(expr, s.options(), "shell", 1, 1)
+		return p, err
+	}
 	p, _, err := s.plans.GetOrCompile(expr, s.options(), "shell", 1, 1)
 	return p, err
 }
@@ -170,6 +179,8 @@ func (s *shell) help() {
   \physical <xpath>       show the physical plan with NVM disassembly
   \analyze <xpath>        run instrumented and show the annotated operator tree
   \metrics on|off|show    toggle metrics collection / dump the registry
+  \canon on|off           compile through the canonicalizer (variants share plans)
+  \canon <xpath>          print the canonical form of an expression
   \mode canonical|improved  switch the translation (current shown by \mode)
   \pathindex on|off       toggle path-index access-path selection
   \set $name <value>      bind a variable (number if numeric, else string)
@@ -269,6 +280,23 @@ func (s *shell) command(line string) {
 		default:
 			fmt.Fprint(s.out, metrics.Default.String())
 		}
+	case "canon":
+		switch arg {
+		case "on":
+			s.canon = true
+		case "off":
+			s.canon = false
+		case "":
+		default:
+			cq, changed := canon.Canonicalize(arg)
+			if !changed {
+				fmt.Fprintf(s.out, "canonical (unchanged): %s\n", cq)
+			} else {
+				fmt.Fprintf(s.out, "canonical: %s\n", cq)
+			}
+			return
+		}
+		fmt.Fprintln(s.out, "canon:", s.canon)
 	case "pathindex":
 		switch arg {
 		case "on":

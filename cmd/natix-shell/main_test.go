@@ -261,3 +261,36 @@ func TestShellMetrics(t *testing.T) {
 		t.Errorf("metrics off: %s", out.String())
 	}
 }
+
+func TestShellCanon(t *testing.T) {
+	sh, out := testShell(t)
+	// \canon <expr> prints the canonical form without evaluating.
+	sh.exec("\\canon //item")
+	if !strings.Contains(out.String(), "canonical: /descendant::item") {
+		t.Fatalf("canon print: %q", out.String())
+	}
+	// With the toggle on, syntactic variants share one cached plan; the
+	// hit under a different spelling counts as a normalized hit.
+	sh.exec("\\canon on")
+	sh.exec("/descendant::item")
+	sh.exec("//item")
+	sh.exec("/descendant-or-self::node()/child::item")
+	st := sh.plans.Stats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("canonical variants did not share a plan: %+v", st)
+	}
+	if st.NormalizedHits != 2 {
+		t.Fatalf("normalized hits = %d, want 2: %+v", st.NormalizedHits, st)
+	}
+	// Off again: the original text is its own key.
+	sh.exec("\\canon off")
+	sh.exec("//item")
+	if st := sh.plans.Stats(); st.Misses != 2 {
+		t.Fatalf("toggle off still canonicalizes: %+v", st)
+	}
+	out.Reset()
+	sh.exec("\\canon")
+	if !strings.Contains(out.String(), "canon: false") {
+		t.Fatalf("canon status: %q", out.String())
+	}
+}

@@ -1,0 +1,510 @@
+// Package canon normalizes XPath expressions into a canonical text form so
+// syntactically different spellings of the same query share one plan-cache
+// entry and one in-flight execution ("XPath Whole Query Optimization" makes
+// whole-query normalization the precondition of cross-query sharing).
+//
+// Canonicalize parses the expression, applies a set of provably
+// semantics-preserving rewrites on the syntax tree, and renders the result
+// in fully parenthesized, unabbreviated XPath:
+//
+//   - whitespace and the abbreviated forms (//, ., .., @) disappear in the
+//     round trip through the parser and the unabbreviated renderer;
+//   - operands of commutative pure operators (and, or, =, !=, +, *) are
+//     ordered by their rendered text, associative chains of and/or and
+//     union terms are flattened, sorted and de-duplicated (XPath 1.0
+//     evaluation is side-effect free, and and/or/| are idempotent), and
+//     the order comparisons are mirrored (b > a becomes a < b);
+//   - predicate-free self::node() steps are dropped and the
+//     descendant-or-self::node() step of the // abbreviation is merged into
+//     a following child/descendant step — under exactly the conditions of
+//     sem.RewritePaths (no predicates on the absorbed step, no positional
+//     predicates on the absorbing one);
+//   - string literals are re-quoted canonically ('…' unless the value
+//     contains an apostrophe).
+//
+// Predicates are never reordered relative to each other ([position()<3][@k]
+// and [@k][position()<3] differ), and nothing positional is touched.
+//
+// The result is validated as a fixpoint: the canonical text is reparsed and
+// re-canonicalized, and if that does not reproduce the same text — or the
+// expression does not parse at all — Canonicalize returns the input
+// unchanged. canon(canon(q)) == canon(q) holds by construction, not by
+// hope.
+package canon
+
+import (
+	"sort"
+	"strings"
+
+	"natix/internal/dom"
+	"natix/internal/xpath"
+	"natix/internal/xval"
+)
+
+// Canonicalize returns the canonical form of q and whether it differs from
+// q. Expressions that do not parse, or whose canonical rendering fails the
+// reparse/fixpoint validation, are returned unchanged with false — the
+// caller keys and compiles the original text and still gets exact-match
+// caching.
+func Canonicalize(q string) (string, bool) {
+	ast, err := xpath.Parse(q)
+	if err != nil {
+		return q, false
+	}
+	s1, ok := render(normalize(ast))
+	if !ok {
+		return q, false
+	}
+	// Fixpoint validation: the canonical text must survive its own round
+	// trip byte-identically, otherwise serving it would break idempotence
+	// (and the plan cache would fragment instead of coalesce).
+	ast2, err := xpath.Parse(s1)
+	if err != nil {
+		return q, false
+	}
+	if s2, ok := render(normalize(ast2)); !ok || s2 != s1 {
+		return q, false
+	}
+	return s1, s1 != q
+}
+
+// normalize rewrites the tree bottom-up: children first, so the rendered
+// sort keys of commutative reordering reflect canonical operands.
+func normalize(e xpath.Expr) xpath.Expr {
+	switch n := e.(type) {
+	case *xpath.Binary:
+		return normBinary(n)
+	case *xpath.Neg:
+		return &xpath.Neg{X: normalize(n.X)}
+	case *xpath.Union:
+		return normUnion(n)
+	case *xpath.LocationPath:
+		steps := normSteps(n.Steps, !n.Absolute)
+		return &xpath.LocationPath{Absolute: n.Absolute, Steps: steps}
+	case *xpath.Filter:
+		out := &xpath.Filter{Primary: normalize(n.Primary)}
+		for _, p := range n.Preds {
+			out.Preds = append(out.Preds, normalize(p))
+		}
+		return out
+	case *xpath.Path:
+		// The relative part keeps at least one step: collapsing a path
+		// expression into its bare base would drop the path's implicit
+		// document-order/dedup discipline, which a following positional
+		// filter could observe.
+		rel := &xpath.LocationPath{Steps: normSteps(n.Rel.Steps, true)}
+		return &xpath.Path{Base: normalize(n.Base), Rel: rel}
+	case *xpath.FuncCall:
+		out := &xpath.FuncCall{Name: n.Name}
+		for _, a := range n.Args {
+			out.Args = append(out.Args, normalize(a))
+		}
+		return out
+	}
+	return e
+}
+
+// commutes reports whether the operator's operands may be exchanged without
+// changing the result: and/or (pure, no side effects), = and != (symmetric
+// by definition, including the node-set existential forms), + and * (IEEE
+// addition and multiplication commute, NaN included).
+func commutes(op xpath.BinOp) bool {
+	switch op {
+	case xpath.OpAnd, xpath.OpOr, xpath.OpEq, xpath.OpNe, xpath.OpAdd, xpath.OpMul:
+		return true
+	}
+	return false
+}
+
+// mirror returns the flipped order comparison: a < b ⇔ b > a holds for
+// every XPath 1.0 operand kind (the node-set forms are existential over the
+// same pairs).
+func mirror(op xpath.BinOp) (xpath.BinOp, bool) {
+	switch op {
+	case xpath.OpLt:
+		return xpath.OpGt, true
+	case xpath.OpLe:
+		return xpath.OpGe, true
+	case xpath.OpGt:
+		return xpath.OpLt, true
+	case xpath.OpGe:
+		return xpath.OpLe, true
+	}
+	return op, false
+}
+
+func normBinary(n *xpath.Binary) xpath.Expr {
+	// and/or chains: flatten the left-associated spine, sort by rendered
+	// text, drop syntactically identical duplicates (idempotent operators),
+	// rebuild left-associated.
+	if n.Op == xpath.OpAnd || n.Op == xpath.OpOr {
+		var terms []xpath.Expr
+		flattenLogic(n.Op, n, &terms)
+		for i, t := range terms {
+			terms[i] = normalize(t)
+		}
+		terms = sortDedup(terms, true)
+		out := terms[0]
+		for _, t := range terms[1:] {
+			out = &xpath.Binary{Op: n.Op, Left: out, Right: t}
+		}
+		return out
+	}
+	l, r := normalize(n.Left), normalize(n.Right)
+	op := n.Op
+	lr, lok := render(l)
+	rr, rok := render(r)
+	if lok && rok && lr > rr {
+		if commutes(op) {
+			l, r = r, l
+		} else if m, ok := mirror(op); ok {
+			op, l, r = m, r, l
+		}
+	}
+	return &xpath.Binary{Op: op, Left: l, Right: r}
+}
+
+func flattenLogic(op xpath.BinOp, e xpath.Expr, out *[]xpath.Expr) {
+	if b, ok := e.(*xpath.Binary); ok && b.Op == op {
+		flattenLogic(op, b.Left, out)
+		flattenLogic(op, b.Right, out)
+		return
+	}
+	*out = append(*out, e)
+}
+
+// sortDedup orders exprs by rendered text; when dedup is set, syntactically
+// identical terms collapse to one. Unrenderable terms (pathological
+// literals) sort last on their pointer identity order, untouched.
+func sortDedup(terms []xpath.Expr, dedup bool) []xpath.Expr {
+	keys := make([]string, len(terms))
+	for i, t := range terms {
+		if s, ok := render(t); ok {
+			keys[i] = s
+		} else {
+			keys[i] = "\xff" // sorts after any real rendering
+		}
+	}
+	idx := make([]int, len(terms))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	out := make([]xpath.Expr, 0, len(terms))
+	var prev string
+	for n, i := range idx {
+		if dedup && n > 0 && keys[i] != "\xff" && keys[i] == prev {
+			continue
+		}
+		prev = keys[i]
+		out = append(out, terms[i])
+	}
+	return out
+}
+
+func normUnion(n *xpath.Union) xpath.Expr {
+	terms := make([]xpath.Expr, len(n.Terms))
+	for i, t := range n.Terms {
+		terms[i] = normalize(t)
+	}
+	terms = sortDedup(terms, true)
+	if len(terms) == 1 {
+		return terms[0]
+	}
+	return &xpath.Union{Terms: terms}
+}
+
+// normSteps normalizes one step list: predicates normalize recursively,
+// predicate-free self::node() steps are dropped, and a predicate-free
+// descendant-or-self::node() step merges into a following child /
+// descendant / descendant-or-self step whose predicates are position-free —
+// the exact conditions sem.RewritePaths proves result-preserving.
+// mustKeepOne keeps a single self::node() step when everything else
+// collapses (a relative path must not become empty, and a path expression
+// must keep its implicit dedup/sort).
+func normSteps(steps []*xpath.Step, mustKeepOne bool) []*xpath.Step {
+	out := make([]*xpath.Step, 0, len(steps))
+	for _, s := range steps {
+		ns := &xpath.Step{Axis: s.Axis, Test: s.Test}
+		for _, p := range s.Preds {
+			ns.Preds = append(ns.Preds, normalize(p))
+		}
+		if ns.Axis == dom.AxisSelf && ns.Test.Kind == dom.TestAnyNode && len(ns.Preds) == 0 {
+			continue
+		}
+		if len(out) > 0 {
+			prev := out[len(out)-1]
+			if prev.Axis == dom.AxisDescendantOrSelf &&
+				prev.Test.Kind == dom.TestAnyNode && len(prev.Preds) == 0 &&
+				mergeSafe(ns.Preds) {
+				switch ns.Axis {
+				case dom.AxisChild, dom.AxisDescendant:
+					ns.Axis = dom.AxisDescendant
+					out[len(out)-1] = ns
+					continue
+				case dom.AxisDescendantOrSelf:
+					out[len(out)-1] = ns
+					continue
+				}
+			}
+		}
+		out = append(out, ns)
+	}
+	if len(out) == 0 && mustKeepOne {
+		out = append(out, &xpath.Step{
+			Axis: dom.AxisSelf,
+			Test: xpath.NodeTest{Kind: dom.TestAnyNode},
+		})
+	}
+	return out
+}
+
+// mergeSafe reports whether predicates permit absorbing a preceding
+// descendant-or-self::node() step: each must be provably non-positional.
+// A predicate is positional when it references position()/last() or when
+// its value is a number (a numeric predicate p abbreviates position() = p —
+// sem flags those only after that rewrite, so the raw-AST check must catch
+// them by type). Anything not provably boolean/string/node-set-typed is
+// treated as positional; that only forgoes a merge, never changes results.
+func mergeSafe(preds []xpath.Expr) bool {
+	for _, p := range preds {
+		if usesPosition(p) || !provablyNonNumeric(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// usesPosition reports whether e references position() or last() anywhere
+// in its tree (the core functions are unprefixed in XPath 1.0; prefixed
+// spellings would not resolve to them). Nested predicates establish their
+// own position context, so this over-approximates — safe, merely
+// conservative.
+func usesPosition(e xpath.Expr) bool {
+	found := false
+	xpath.Walk(e, func(x xpath.Expr) bool {
+		if c, ok := x.(*xpath.FuncCall); ok && (c.Name == "position" || c.Name == "last") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// provablyNonNumeric reports whether the expression's value type is
+// statically known to not be number (predicates over booleans, strings and
+// node-sets test emptiness/truth, not position).
+func provablyNonNumeric(e xpath.Expr) bool {
+	switch n := e.(type) {
+	case *xpath.Binary:
+		switch n.Op {
+		case xpath.OpAnd, xpath.OpOr, xpath.OpEq, xpath.OpNe,
+			xpath.OpLt, xpath.OpLe, xpath.OpGt, xpath.OpGe:
+			return true // comparisons and logic yield booleans
+		}
+		return false // arithmetic yields numbers
+	case *xpath.Union, *xpath.LocationPath, *xpath.Path:
+		return true // node-sets
+	case *xpath.Literal:
+		return true // strings
+	case *xpath.Filter:
+		return provablyNonNumeric(n.Primary)
+	case *xpath.FuncCall:
+		switch n.Name {
+		case "boolean", "not", "true", "false", "contains", "starts-with", "lang",
+			"string", "concat", "substring", "substring-before", "substring-after",
+			"normalize-space", "translate", "name", "local-name", "namespace-uri",
+			"id":
+			return true
+		}
+		return false // count/sum/number/… and unknown extensions
+	}
+	return false // Number, Neg, VarRef: numeric or unknown
+}
+
+// render prints the expression in fully parenthesized unabbreviated XPath.
+// Every binary/union expression carries its own parentheses, so the reparse
+// reproduces the exact tree shape with no precedence reasoning. The boolean
+// is false when the expression cannot be rendered reparseably (a string
+// literal containing both quote kinds — unwritable in XPath 1.0, which has
+// no escapes, so it cannot occur on a parsed tree, but the renderer stays
+// total).
+func render(e xpath.Expr) (string, bool) {
+	var sb strings.Builder
+	ok := renderTo(&sb, e)
+	return sb.String(), ok
+}
+
+func renderTo(sb *strings.Builder, e xpath.Expr) bool {
+	switch n := e.(type) {
+	case *xpath.Binary:
+		sb.WriteByte('(')
+		if !renderTo(sb, n.Left) {
+			return false
+		}
+		sb.WriteByte(' ')
+		sb.WriteString(n.Op.String())
+		sb.WriteByte(' ')
+		if !renderTo(sb, n.Right) {
+			return false
+		}
+		sb.WriteByte(')')
+	case *xpath.Neg:
+		sb.WriteString("-(")
+		if !renderTo(sb, n.X) {
+			return false
+		}
+		sb.WriteByte(')')
+	case *xpath.Union:
+		sb.WriteByte('(')
+		for i, t := range n.Terms {
+			if i > 0 {
+				sb.WriteString(" | ")
+			}
+			if !renderTo(sb, t) {
+				return false
+			}
+		}
+		sb.WriteByte(')')
+	case *xpath.LocationPath:
+		if n.Absolute {
+			sb.WriteByte('/')
+		}
+		for i, s := range n.Steps {
+			if i > 0 {
+				sb.WriteByte('/')
+			}
+			if !renderStep(sb, s) {
+				return false
+			}
+		}
+	case *xpath.Filter:
+		// The primary is always parenthesized: an unparenthesized location
+		// path would fuse with the predicates ((//a)[1] is not //a[1]).
+		sb.WriteByte('(')
+		if !renderTo(sb, n.Primary) {
+			return false
+		}
+		sb.WriteByte(')')
+		for _, p := range n.Preds {
+			sb.WriteByte('[')
+			if !renderTo(sb, p) {
+				return false
+			}
+			sb.WriteByte(']')
+		}
+	case *xpath.Path:
+		// Bases that are not self-delimiting primaries need parentheses:
+		// a bare location path would fuse with the relative part, and a
+		// unary minus would re-associate over the whole path.
+		switch n.Base.(type) {
+		case *xpath.LocationPath, *xpath.Neg:
+			sb.WriteByte('(')
+			if !renderTo(sb, n.Base) {
+				return false
+			}
+			sb.WriteByte(')')
+		default:
+			if !renderTo(sb, n.Base) {
+				return false
+			}
+		}
+		sb.WriteByte('/')
+		for i, s := range n.Rel.Steps {
+			if i > 0 {
+				sb.WriteByte('/')
+			}
+			if !renderStep(sb, s) {
+				return false
+			}
+		}
+	case *xpath.VarRef:
+		sb.WriteByte('$')
+		sb.WriteString(n.Name)
+	case *xpath.Literal:
+		return renderLiteral(sb, n.Value)
+	case *xpath.Number:
+		sb.WriteString(xval.FormatNumber(n.Value))
+	case *xpath.FuncCall:
+		sb.WriteString(n.Name)
+		sb.WriteByte('(')
+		for i, a := range n.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			if !renderTo(sb, a) {
+				return false
+			}
+		}
+		sb.WriteByte(')')
+	default:
+		return false
+	}
+	return true
+}
+
+func renderStep(sb *strings.Builder, s *xpath.Step) bool {
+	sb.WriteString(s.Axis.String())
+	sb.WriteString("::")
+	if !renderTest(sb, s.Test) {
+		return false
+	}
+	for _, p := range s.Preds {
+		sb.WriteByte('[')
+		if !renderTo(sb, p) {
+			return false
+		}
+		sb.WriteByte(']')
+	}
+	return true
+}
+
+func renderTest(sb *strings.Builder, t xpath.NodeTest) bool {
+	switch t.Kind {
+	case dom.TestAnyNode:
+		sb.WriteString("node()")
+	case dom.TestText:
+		sb.WriteString("text()")
+	case dom.TestComment:
+		sb.WriteString("comment()")
+	case dom.TestPI:
+		sb.WriteString("processing-instruction(")
+		if t.Target != "" {
+			if !renderLiteral(sb, t.Target) {
+				return false
+			}
+		}
+		sb.WriteByte(')')
+	case dom.TestAnyName:
+		sb.WriteByte('*')
+	case dom.TestNSName:
+		sb.WriteString(t.Prefix)
+		sb.WriteString(":*")
+	default:
+		if t.Prefix != "" {
+			sb.WriteString(t.Prefix)
+			sb.WriteByte(':')
+		}
+		sb.WriteString(t.Local)
+	}
+	return true
+}
+
+// renderLiteral quotes v canonically: apostrophes unless the value contains
+// one, double quotes then. A value with both quote kinds is unwritable in
+// XPath 1.0 (no escape syntax) and fails the render.
+func renderLiteral(sb *strings.Builder, v string) bool {
+	if !strings.Contains(v, "'") {
+		sb.WriteByte('\'')
+		sb.WriteString(v)
+		sb.WriteByte('\'')
+		return true
+	}
+	if !strings.Contains(v, `"`) {
+		sb.WriteByte('"')
+		sb.WriteString(v)
+		sb.WriteByte('"')
+		return true
+	}
+	return false
+}

@@ -1,0 +1,208 @@
+package canon_test
+
+import (
+	"testing"
+
+	"natix/internal/canon"
+	"natix/internal/conformance"
+	"natix/internal/difftest"
+	"natix/internal/dom"
+	"natix/internal/interp"
+	"natix/internal/sem"
+)
+
+// TestRewrites pins the canonical form of each rewrite the package claims.
+func TestRewrites(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		// Abbreviation expansion + whitespace erasure.
+		{"  /root/a ", "/child::root/child::a"},
+		{"a/@k", "child::a/attribute::k"},
+		{".", "self::node()"},
+		{"..", "parent::node()"},
+		{"(a)", "child::a"},
+
+		// self::node() dropping — but never to an empty relative path.
+		{"./a", "child::a"},
+		{"a/.", "child::a"},
+		{"a/./b", "child::a/child::b"},
+		{"/.", "/"},
+		{"$v/.", "$v/self::node()"},
+
+		// descendant-or-self merge under the RewritePaths conditions.
+		{"//b", "/descendant::b"},
+		{"a//b", "child::a/descendant::b"},
+		{"a//b[@k]", "child::a/descendant::b[attribute::k]"},
+		{"a//descendant-or-self::b", "child::a/descendant-or-self::b"},
+		// Positional predicates block the merge: explicitly …
+		{"a//b[position() = 1]",
+			"child::a/descendant-or-self::node()/child::b[(1 = position())]"},
+		{"a//b[last()]", "child::a/descendant-or-self::node()/child::b[last()]"},
+		// … numerically (p abbreviates position() = p) …
+		{"a//b[1]", "child::a/descendant-or-self::node()/child::b[1]"},
+		{"a//b[count(*) - 1]",
+			"child::a/descendant-or-self::node()/child::b[(count(child::*) - 1)]"},
+		// … and for un-typeable variables.
+		{"a//b[$v]", "child::a/descendant-or-self::node()/child::b[$v]"},
+		// Non-child axes never merge.
+		{"..//@id", "parent::node()/descendant-or-self::node()/attribute::id"},
+
+		// Commutative ordering: operands sort by canonical rendering.
+		{"b and a", "(child::a and child::b)"},
+		{"b or a or c", "((child::a or child::b) or child::c)"},
+		{"a or a", "child::a"},
+		{"a = 'x'", "('x' = child::a)"},
+		{"'x' = a", "('x' = child::a)"},
+		{"b != a", "(child::a != child::b)"},
+		{"3 + $v", "($v + 3)"},
+		{"$v * 2", "($v * 2)"},
+		// Order comparisons mirror instead of swapping.
+		{"2 > 1", "(1 < 2)"},
+		{"2 >= 1", "(1 <= 2)"},
+		{"1 < 2", "(1 < 2)"},
+		// Subtraction and division do not commute.
+		{"3 - $v", "(3 - $v)"},
+		{"$v div 2", "($v div 2)"},
+		// Predicates never reorder relative to each other.
+		{"a[position() < 3][@k]", "child::a[(3 > position())][attribute::k]"},
+		{"a[@k][position() < 3]", "child::a[attribute::k][(3 > position())]"},
+
+		// Union terms sort and de-duplicate.
+		{"b | a", "(child::a | child::b)"},
+		{"b | a | b", "(child::a | child::b)"},
+		{"a | a", "child::a"},
+
+		// Literal re-quoting.
+		{`"x"`, "'x'"},
+		{`"don't"`, `"don't"`},
+
+		// Numbers render via FormatNumber.
+		{"1.0", "1"},
+		{"a[.01]", "child::a[0.01]"},
+
+		// Filters keep their primaries parenthesized.
+		{"(//a)[2]", "(/descendant::a)[2]"},
+		{"( b | a )[last()]", "((child::a | child::b))[last()]"},
+	}
+	for _, c := range cases {
+		got, changed := canon.Canonicalize(c.in)
+		if got != c.want {
+			t.Errorf("Canonicalize(%q) = %q, want %q", c.in, got, c.want)
+			continue
+		}
+		if wantChanged := c.in != c.want; changed != wantChanged {
+			t.Errorf("Canonicalize(%q): changed = %v, want %v", c.in, changed, wantChanged)
+		}
+	}
+}
+
+// TestUnparseable: garbage comes back unchanged, flagged unchanged.
+func TestUnparseable(t *testing.T) {
+	for _, q := range []string{"", "a[", "///", "1 +", "child::", ")", "f(,)"} {
+		got, changed := canon.Canonicalize(q)
+		if got != q || changed {
+			t.Errorf("Canonicalize(%q) = (%q, %v), want (%q, false)", q, got, changed, q)
+		}
+	}
+}
+
+// corpusQueries gathers every expression the repo's harnesses exercise:
+// the hand-written conformance cases (including the expected-error ones —
+// canonicalization must degrade gracefully on those too) and the
+// deterministic difftest generator output.
+func corpusQueries(t *testing.T) []string {
+	t.Helper()
+	var qs []string
+	for _, c := range conformance.Cases {
+		qs = append(qs, c.Expr)
+	}
+	items, _, err := difftest.Corpus()
+	if err != nil {
+		t.Fatalf("difftest corpus: %v", err)
+	}
+	for _, it := range items {
+		qs = append(qs, it.Expr)
+	}
+	return qs
+}
+
+// TestIdempotent: canon(canon(q)) == canon(q) over the full corpus — the
+// property the fixpoint validation inside Canonicalize enforces.
+func TestIdempotent(t *testing.T) {
+	for _, q := range corpusQueries(t) {
+		c1, _ := canon.Canonicalize(q)
+		c2, _ := canon.Canonicalize(c1)
+		if c1 != c2 {
+			t.Errorf("not idempotent: %q -> %q -> %q", q, c1, c2)
+		}
+	}
+}
+
+// TestSemanticsPreserved evaluates every corpus query in original and
+// canonical form with the reference interpreter and requires identical
+// rendered results. (difftest's -canon twin configs repeat this check
+// through the full engine × backend matrix; this is the fast direct form.)
+func TestSemanticsPreserved(t *testing.T) {
+	items, docs, err := difftest.Corpus()
+	if err != nil {
+		t.Fatalf("difftest corpus: %v", err)
+	}
+	checked := 0
+	for _, it := range items {
+		cq, changed := canon.Canonicalize(it.Expr)
+		if !changed {
+			continue
+		}
+		doc := docs[it.DocName]
+		root := dom.Node{Doc: doc, ID: doc.Root()}
+		env := &sem.Env{Namespaces: it.NS}
+		iopt := interp.Options{DedupSteps: true}
+
+		ref, err := interp.Compile(it.Expr, env, iopt)
+		if err != nil {
+			t.Fatalf("reference compile %q: %v", it.Expr, err)
+		}
+		want, err := ref.Eval(root, it.Vars)
+		if err != nil {
+			t.Fatalf("reference eval %q: %v", it.Expr, err)
+		}
+
+		can, err := interp.Compile(cq, env, iopt)
+		if err != nil {
+			t.Fatalf("canonical %q (of %q) does not compile: %v", cq, it.Expr, err)
+		}
+		got, err := can.Eval(root, it.Vars)
+		if err != nil {
+			t.Fatalf("canonical eval %q (of %q): %v", cq, it.Expr, err)
+		}
+		if g, w := conformance.Render(got), conformance.Render(want); g != w {
+			t.Errorf("%q -> %q on %s:\n  got  %s\n  want %s", it.Expr, cq, it.DocName, g, w)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no corpus query was changed by canonicalization; property test is vacuous")
+	}
+}
+
+// TestVariantsConverge: syntactic variants of one query share a canonical
+// key — the property the plan cache and singleflight build on.
+func TestVariantsConverge(t *testing.T) {
+	groups := [][]string{
+		{"//b", "/descendant-or-self::node()/child::b", "/descendant::b", " // b "},
+		{"a[b and c]", "a[c and b]", "./a[c and b]", "child::a[b and c]"},
+		{"a | b | c", "c | b | a", "b | c | a | b"},
+		{"a[@k = '1']", "a['1' = @k]", `a["1" = @k]`},
+		{"count(a) > 2", "2 < count(a)"},
+	}
+	for _, g := range groups {
+		first, _ := canon.Canonicalize(g[0])
+		for _, q := range g[1:] {
+			got, _ := canon.Canonicalize(q)
+			if got != first {
+				t.Errorf("variants diverge: canon(%q) = %q, canon(%q) = %q", g[0], first, q, got)
+			}
+		}
+	}
+}

@@ -33,6 +33,7 @@ var (
 	mShardsHealthy = metrics.Default.Gauge("natix_coord_healthy_shards", "Shards currently considered healthy by the prober.")
 	mTopoReloads   = metrics.Default.Counter("natix_coord_topology_reloads_total", "Topology reloads installed.")
 	mProbes        = metrics.Default.Counter("natix_coord_probes_total", "Health-probe rounds completed.")
+	mCoordWarmed   = metrics.Default.Counter("natix_coord_warmed_plans_total", "Shard plans pre-warmed by coordinator reload fan-outs and topology swaps.")
 )
 
 // Config configures a Coordinator. Zero fields take the documented
@@ -69,6 +70,11 @@ type Config struct {
 	// every probe.
 	UnhealthyAfter int
 	HealthyAfter   int
+
+	// DisableSingleflight turns off coordinator-level coalescing of
+	// identical in-flight queries (each request then fans out to shards
+	// independently; the shards still coalesce their own executions).
+	DisableSingleflight bool
 
 	// MaxRetries bounds the per-call retry attempts of the shard clients
 	// (default 2; the coordinator sits on the request path, so its retry
@@ -223,15 +229,25 @@ type Coordinator struct {
 	state atomic.Pointer[clusterState]
 	httpc *http.Client
 
+	coordFlightState
+	coalesced atomic.Int64
+
 	slots    chan struct{}
 	jobWG    sync.WaitGroup
 	draining atomic.Bool
 	start    time.Time
 
+	warmMu   sync.Mutex
+	lastWarm *WarmSummary
+
 	reloadMu sync.Mutex // serializes topology installs
 	stop     chan struct{}
 	done     chan struct{}
 }
+
+// Coalesced reports how many queries this coordinator answered by joining
+// an in-flight identical fan-out.
+func (c *Coordinator) Coalesced() int64 { return c.coalesced.Load() }
 
 // New builds a Coordinator over cfg.Topology and starts its health-probe
 // loop. Shards start optimistically healthy: a cold coordinator routes
@@ -253,6 +269,7 @@ func New(cfg Config) (*Coordinator, error) {
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
+	c.flights = map[string]*coordFlight{}
 	c.install(cfg.Topology)
 	go c.probeLoop()
 	return c, nil
@@ -412,6 +429,10 @@ type QueryResponse struct {
 	Stats     server.QueryStats   `json:"stats"`
 	ElapsedUS int64               `json:"elapsed_us"`
 	Shards    []ShardTiming       `json:"shards,omitempty"`
+
+	// Coalesced marks an answer served by joining an identical in-flight
+	// coordinator fan-out rather than calling any shard.
+	Coalesced bool `json:"coalesced,omitempty"`
 }
 
 // Handler returns the coordinator's HTTP mux.
@@ -419,6 +440,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", c.handleQuery)
 	mux.HandleFunc("/documents", c.handleDocuments)
+	mux.HandleFunc("/reload", c.handleReload)
 	mux.HandleFunc("/topology", c.handleTopology)
 	mux.HandleFunc("/healthz", c.handleHealthz)
 	mux.HandleFunc("/healthz/live", c.handleLive)
@@ -455,28 +477,12 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Admission: a full coordinator answers a structured 429 immediately —
-	// the same contract as a shard's admission queue, one layer up.
 	c.jobWG.Add(1)
 	defer c.jobWG.Done()
 	if c.draining.Load() {
 		mCoordRejected.Inc()
 		writeErr(w, errf(http.StatusServiceUnavailable, server.CodeShuttingDown, "coordinator is draining"))
 		return
-	}
-	select {
-	case c.slots <- struct{}{}:
-		defer func() { <-c.slots }()
-	default:
-		mCoordRejected.Inc()
-		writeErr(w, errf(http.StatusTooManyRequests, server.CodeOverloaded,
-			"coordinator at max inflight (%d)", c.cfg.MaxInflight))
-		return
-	}
-	mCoordRequests.Inc()
-	started := time.Now()
-	if metrics.Enabled() {
-		defer func() { mCoordTime.ObserveDuration(time.Since(started)) }()
 	}
 
 	timeout := c.cfg.DefaultTimeout
@@ -486,17 +492,86 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 			timeout = c.cfg.MaxTimeout
 		}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
 
-	st := c.state.Load()
-	resp, apiErr := c.route(ctx, st, &req, started)
+	if c.cfg.DisableSingleflight {
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		resp, apiErr := c.admitAndRoute(ctx, &req)
+		if apiErr != nil {
+			mCoordErrors.Inc()
+			writeErr(w, apiErr)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	// Singleflight: identical in-flight queries share one fan-out. Joining
+	// happens before slot admission — a joiner consumes no shard call, so
+	// it must never be turned away by the inflight bound.
+	k := flightKey(&req, c.state.Load().topo.Generation())
+	execCtx, execCancel := context.WithTimeout(context.Background(), timeout)
+	f, leader := c.joinOrLead(k, execCancel)
+	if !leader {
+		execCancel() // joined: the leader's context drives the fan-out
+		c.coalesced.Add(1)
+		if metrics.Enabled() {
+			mCoordCoalesced.Inc()
+		}
+		waitCtx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		select {
+		case <-f.done:
+			if f.err != nil {
+				mCoordErrors.Inc()
+				writeErr(w, f.err)
+				return
+			}
+			cp := *f.resp
+			cp.Coalesced = true
+			writeJSON(w, http.StatusOK, &cp)
+		case <-waitCtx.Done():
+			f.leave()
+			writeErr(w, errf(http.StatusGatewayTimeout, server.CodeTimeout,
+				"request expired awaiting a coalesced fan-out"))
+		}
+		return
+	}
+	// Leader: fan out on a context detached from this HTTP request, so a
+	// joiner (or this request's own client) cancelling cannot kill an
+	// execution others still await. Admission rejection and shard failure
+	// fan the same typed error to every waiter.
+	resp, apiErr := c.admitAndRoute(execCtx, &req)
+	c.finishFlight(k, f, resp, apiErr)
+	execCancel() // flight complete; release the detached timer
 	if apiErr != nil {
 		mCoordErrors.Inc()
 		writeErr(w, apiErr)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// admitAndRoute applies the inflight bound and dispatches one query — the
+// shared tail of the singleflight-leader and singleflight-off paths. A full
+// coordinator answers a structured 429 immediately: the same contract as a
+// shard's admission queue, one layer up.
+func (c *Coordinator) admitAndRoute(ctx context.Context, req *QueryRequest) (*QueryResponse, *apiError) {
+	select {
+	case c.slots <- struct{}{}:
+		defer func() { <-c.slots }()
+	default:
+		mCoordRejected.Inc()
+		return nil, errf(http.StatusTooManyRequests, server.CodeOverloaded,
+			"coordinator at max inflight (%d)", c.cfg.MaxInflight)
+	}
+	mCoordRequests.Inc()
+	started := time.Now()
+	if metrics.Enabled() {
+		defer func() { mCoordTime.ObserveDuration(time.Since(started)) }()
+	}
+	st := c.state.Load()
+	return c.route(ctx, st, req, started)
 }
 
 // route dispatches one admitted query: single-document to the owning
@@ -676,6 +751,233 @@ func shardTimings(outcomes []docOutcome) []ShardTiming {
 	return out
 }
 
+// ReloadDocStatus is one document's row of the coordinator's /reload
+// answer: the owning shard's reload report, warm-up status included.
+type ReloadDocStatus struct {
+	Document         string `json:"document"`
+	Shard            string `json:"shard"`
+	Generation       uint64 `json:"generation,omitempty"`
+	PlansInvalidated int    `json:"plans_invalidated"`
+	Warmed           int    `json:"warmed"`
+	WarmCompileUS    int64  `json:"warm_compile_us"`
+	Error            string `json:"error,omitempty"`
+}
+
+// ReloadShardStatus aggregates one shard's slice of a reload fan-out.
+type ReloadShardStatus struct {
+	Shard         string `json:"shard"`
+	Documents     int    `json:"documents"`
+	Warmed        int    `json:"warmed"`
+	WarmCompileUS int64  `json:"warm_compile_us"`
+	Errors        int    `json:"errors,omitempty"`
+}
+
+// handleReload fans POST /reload?document= out to the shards serving the
+// named documents — a single name, a comma list, or "*" for every observed
+// document — and aggregates each shard's reload and cache warm-up report.
+// Failures are per-document and explicit, never silently dropped: the
+// answer is the cluster-level analogue of a shard's own reload response.
+func (c *Coordinator) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, errf(http.StatusMethodNotAllowed, server.CodeBadRequest, "POST only"))
+		return
+	}
+	name := r.URL.Query().Get("document")
+	if name == "" {
+		writeErr(w, errf(http.StatusBadRequest, server.CodeBadRequest, "missing ?document="))
+		return
+	}
+	st := c.state.Load()
+	var docs []string
+	var owner map[string]*shardState
+	if name == "*" {
+		docs, owner = st.docUnion()
+		if len(docs) == 0 {
+			writeErr(w, errf(http.StatusNotFound, server.CodeUnknownDoc,
+				"no documents discovered yet: the prober has not seen any shard catalog"))
+			return
+		}
+	} else {
+		seen := map[string]bool{}
+		for _, d := range strings.Split(name, ",") {
+			d = strings.TrimSpace(d)
+			if d == "" {
+				writeErr(w, errf(http.StatusBadRequest, server.CodeBadRequest,
+					"empty document name in list %q", name))
+				return
+			}
+			if !seen[d] {
+				seen[d] = true
+				docs = append(docs, d)
+			}
+		}
+		sort.Strings(docs)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.MaxTimeout)
+	defer cancel()
+
+	out := make([]ReloadDocStatus, len(docs))
+	sem := make(chan struct{}, c.cfg.FanOut)
+	var wg sync.WaitGroup
+	for i, doc := range docs {
+		sh := (*shardState)(nil)
+		if owner != nil {
+			sh = owner[doc]
+		}
+		if sh == nil {
+			sh = st.resolve(doc)
+		}
+		out[i] = ReloadDocStatus{Document: doc, Shard: sh.id}
+		if !sh.healthy.Load() {
+			out[i].Error = "shard " + sh.id + " is down"
+			continue
+		}
+		wg.Add(1)
+		go func(out *ReloadDocStatus, doc string, sh *shardState) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				out.Error = ctx.Err().Error()
+				return
+			}
+			res, err := sh.client().Reload(ctx, doc)
+			if err != nil {
+				out.Error = err.Error()
+				return
+			}
+			out.Generation = res.Generation
+			out.PlansInvalidated = res.PlansInvalidated
+			out.Warmed = res.Warmed
+			out.WarmCompileUS = res.WarmCompileUS
+		}(&out[i], doc, sh)
+	}
+	wg.Wait()
+
+	agg := map[string]*ReloadShardStatus{}
+	warmed, failures := 0, 0
+	for i := range out {
+		o := &out[i]
+		t, ok := agg[o.Shard]
+		if !ok {
+			t = &ReloadShardStatus{Shard: o.Shard}
+			agg[o.Shard] = t
+		}
+		t.Documents++
+		t.Warmed += o.Warmed
+		t.WarmCompileUS += o.WarmCompileUS
+		warmed += o.Warmed
+		if o.Error != "" {
+			t.Errors++
+			failures++
+		}
+	}
+	shards := make([]ReloadShardStatus, 0, len(agg))
+	for _, t := range agg {
+		shards = append(shards, *t)
+	}
+	sort.Slice(shards, func(i, j int) bool { return shards[i].Shard < shards[j].Shard })
+	if warmed > 0 && metrics.Enabled() {
+		mCoordWarmed.Add(int64(warmed))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"documents": out,
+		"shards":    shards,
+		"warmed":    warmed,
+		"errors":    failures,
+	})
+}
+
+// ShardWarm is one shard's slice of a cluster-wide pre-warm pass.
+type ShardWarm struct {
+	Shard         string `json:"shard"`
+	Documents     int    `json:"documents"`
+	Warmed        int    `json:"warmed"`
+	WarmCompileUS int64  `json:"warm_compile_us"`
+	Errors        int    `json:"errors,omitempty"`
+}
+
+// WarmSummary reports one cluster-wide pre-warm pass, aggregated per shard.
+type WarmSummary struct {
+	Documents int         `json:"documents"`
+	Warmed    int         `json:"warmed"`
+	Errors    int         `json:"errors,omitempty"`
+	Shards    []ShardWarm `json:"shards,omitempty"`
+}
+
+// warmAll fans POST /warm across every observed (document, shard) pair, so
+// a topology swap does not leave re-homed documents serving their first
+// queries from a cold plan cache. The aggregate is retained and reported on
+// GET /topology as last_warm.
+func (c *Coordinator) warmAll(ctx context.Context) WarmSummary {
+	st := c.state.Load()
+	docs, owner := st.docUnion()
+	sum := WarmSummary{Documents: len(docs)}
+	agg := map[string]*ShardWarm{}
+	var mu sync.Mutex
+	sem := make(chan struct{}, c.cfg.FanOut)
+	var wg sync.WaitGroup
+	for _, doc := range docs {
+		sh := owner[doc]
+		shardAgg := func() *ShardWarm {
+			t, ok := agg[sh.id]
+			if !ok {
+				t = &ShardWarm{Shard: sh.id}
+				agg[sh.id] = t
+			}
+			return t
+		}
+		if !sh.healthy.Load() {
+			t := shardAgg()
+			t.Documents++
+			t.Errors++
+			sum.Errors++
+			continue
+		}
+		shardAgg().Documents++
+		wg.Add(1)
+		go func(doc string, sh *shardState) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				mu.Lock()
+				agg[sh.id].Errors++
+				sum.Errors++
+				mu.Unlock()
+				return
+			}
+			res, err := sh.client().Warm(ctx, doc)
+			mu.Lock()
+			defer mu.Unlock()
+			t := agg[sh.id]
+			if err != nil {
+				t.Errors++
+				sum.Errors++
+				return
+			}
+			t.Warmed += res.Warmed
+			t.WarmCompileUS += res.WarmCompileUS
+			sum.Warmed += res.Warmed
+		}(doc, sh)
+	}
+	wg.Wait()
+	sum.Shards = make([]ShardWarm, 0, len(agg))
+	for _, t := range agg {
+		sum.Shards = append(sum.Shards, *t)
+	}
+	sort.Slice(sum.Shards, func(i, j int) bool { return sum.Shards[i].Shard < sum.Shards[j].Shard })
+	if sum.Warmed > 0 && metrics.Enabled() {
+		mCoordWarmed.Add(int64(sum.Warmed))
+	}
+	c.warmMu.Lock()
+	c.lastWarm = &sum
+	c.warmMu.Unlock()
+	return sum
+}
+
 func (c *Coordinator) handleDocuments(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, errf(http.StatusMethodNotAllowed, server.CodeBadRequest, "GET only"))
@@ -739,9 +1041,15 @@ func (c *Coordinator) handleTopology(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		gen, vnodes, shards := c.topologyStatus()
-		writeJSON(w, http.StatusOK, map[string]any{
+		out := map[string]any{
 			"generation": gen, "vnodes": vnodes, "shards": shards,
-		})
+		}
+		c.warmMu.Lock()
+		if c.lastWarm != nil {
+			out["last_warm"] = *c.lastWarm
+		}
+		c.warmMu.Unlock()
+		writeJSON(w, http.StatusOK, out)
 	case http.MethodPost:
 		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 		if err != nil {
@@ -782,11 +1090,16 @@ func (c *Coordinator) handleTopology(w http.ResponseWriter, r *http.Request) {
 		carried := c.install(topo)
 		mTopoReloads.Inc()
 		// Probe the new topology promptly so fresh shards demote fast if
-		// dead; the caller's answer does not wait for it.
+		// dead, then pre-warm each shard's plan cache for the documents the
+		// probe placed on it — a swap must not serve its first queries cold.
+		// The caller's answer does not wait for either.
 		go func() {
 			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
-			defer cancel()
 			c.ProbeNow(ctx)
+			cancel()
+			wctx, wcancel := context.WithTimeout(context.Background(), c.cfg.MaxTimeout)
+			defer wcancel()
+			c.warmAll(wctx)
 		}()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"generation": topo.Generation(), "shards": len(topo.ShardIDs()), "carried_over": carried,

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"natix"
+	"natix/internal/canon"
 	"natix/internal/conformance"
 	"natix/internal/dom"
 	"natix/internal/interp"
@@ -31,6 +32,10 @@ import (
 type Config struct {
 	Name string
 	Opt  natix.Options
+	// Canon runs the query through internal/canon before compilation.
+	// Canonicalization claims semantic identity, so a -canon twin must
+	// render byte-identically to the reference run on the original text.
+	Canon bool
 }
 
 // Configs returns the full configuration matrix: both translation modes,
@@ -81,6 +86,17 @@ func Configs() []Config {
 		Config{Name: "improved-batch1-w2", Opt: natix.Options{Mode: natix.Improved, Batch: 1, Workers: 2}},
 		Config{Name: "improved-batch16-w4", Opt: natix.Options{Mode: natix.Improved, Batch: 16, Workers: 4}},
 	)
+	// Canonicalization twins: each base configuration again with the query
+	// rewritten by internal/canon before compilation. The serving layer
+	// keys its plan cache and singleflight on the canonical text, so this
+	// is the divergence check backing that substitution: every twin must
+	// diff clean against the reference run on the original expression.
+	for _, c := range base {
+		cn := c
+		cn.Name = c.Name + "-canon"
+		cn.Canon = true
+		all = append(all, cn)
+	}
 	// Path-index twins: every configuration again with cost-based
 	// access-path selection on. The substitution claims byte-identical
 	// results (order included), so each twin must diff clean against the
@@ -227,7 +243,11 @@ func Run(items []Item, docs map[string]*dom.MemDoc, configs []Config, backends [
 				cells++
 				opt := cfg.Opt
 				opt.Namespaces = it.NS
-				got, err := evalOne(it.Expr, opt, root, it.Vars)
+				expr := it.Expr
+				if cfg.Canon {
+					expr, _ = canon.Canonicalize(expr)
+				}
+				got, err := evalOne(expr, opt, root, it.Vars)
 				if err != nil {
 					divs = append(divs, Divergence{
 						Config: cfg.Name, Backend: be.Name, DocName: it.DocName,

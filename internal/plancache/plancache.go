@@ -22,12 +22,14 @@ import (
 	"sync"
 
 	"natix"
+	"natix/internal/canon"
 	"natix/internal/metrics"
 )
 
 // Cache-wide metrics, on the process-wide default registry.
 var (
 	mHits      = metrics.Default.Counter("natix_plancache_hits_total", "Plan lookups answered from cache.")
+	mNormHits  = metrics.Default.Counter("natix_plancache_normalized_hits_total", "Plan cache hits where the submitted text differed from the canonical key — hits only normalization could have served.")
 	mMisses    = metrics.Default.Counter("natix_plancache_misses_total", "Plan lookups that compiled.")
 	mEvictions = metrics.Default.Counter("natix_plancache_evictions_total", "Plans evicted by the entry or byte budget.")
 	mInvalid   = metrics.Default.Counter("natix_plancache_invalidations_total", "Plans dropped by document invalidation.")
@@ -122,6 +124,10 @@ func OptionsKey(o natix.Options) string {
 // caches and across test runs; these do not).
 type Stats struct {
 	Hits, Misses, Evictions, Invalidations int64
+	// NormalizedHits counts the subset of Hits where the submitted query
+	// text differed from the canonical key it hit under — cache value
+	// attributable to normalization rather than exact-text repetition.
+	NormalizedHits int64
 }
 
 // HitRate returns hits / lookups, zero when the cache is untouched.
@@ -240,6 +246,33 @@ func (c *Cache) GetOrCompile(query string, opt natix.Options, doc string, gen, e
 	}
 	c.Put(k, p)
 	return p, false, nil
+}
+
+// GetOrCompileNormalized is GetOrCompile for a query the caller has already
+// canonicalized (internal/canon); normalized reports whether the submitted
+// text differed from canonQuery, so hits the exact-text cache could never
+// have served are attributed to normalization in Stats and on /metrics.
+func (c *Cache) GetOrCompileNormalized(canonQuery string, normalized bool, opt natix.Options, doc string, gen, epoch uint64) (*natix.Prepared, bool, error) {
+	p, hit, err := c.GetOrCompile(canonQuery, opt, doc, gen, epoch)
+	if hit && normalized {
+		c.mu.Lock()
+		c.stats.NormalizedHits++
+		c.mu.Unlock()
+		if metrics.Enabled() {
+			mNormHits.Inc()
+		}
+	}
+	return p, hit, err
+}
+
+// GetOrCompileCanonical canonicalizes query (internal/canon) and serves it
+// via GetOrCompileNormalized, so syntactic variants share one entry. The
+// canonical text is returned for callers that key other state (singleflight,
+// workload profiles) off it.
+func (c *Cache) GetOrCompileCanonical(query string, opt natix.Options, doc string, gen, epoch uint64) (*natix.Prepared, string, bool, error) {
+	cq, changed := canon.Canonicalize(query)
+	p, hit, err := c.GetOrCompileNormalized(cq, changed, opt, doc, gen, epoch)
+	return p, cq, hit, err
 }
 
 // InvalidateDoc drops every plan cached for doc, any generation. Catalog

@@ -225,3 +225,51 @@ func BenchmarkCacheHit(b *testing.B) {
 		}
 	}
 }
+
+// TestCanonicalSharing: syntactic variants of one query share one cache
+// entry through GetOrCompileCanonical, and hits whose submitted text
+// differed from the canonical key are counted as normalized hits.
+func TestCanonicalSharing(t *testing.T) {
+	c := New(8, 0)
+	p1, cq1, hit, err := c.GetOrCompileCanonical("//b", natix.Options{}, "d", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first lookup hit an empty cache")
+	}
+	for _, variant := range []string{
+		"/descendant-or-self::node()/child::b", "/descendant::b", " // b ",
+	} {
+		p2, cq2, hit, err := c.GetOrCompileCanonical(variant, natix.Options{}, "d", 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cq2 != cq1 {
+			t.Fatalf("canonical keys diverge: %q vs %q", cq2, cq1)
+		}
+		if !hit || p2 != p1 {
+			t.Fatalf("variant %q did not share the cached plan (hit=%v)", variant, hit)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("variants fragmented the cache: %d entries", c.Len())
+	}
+	// "/descendant::b" is itself the canonical text, so of the three
+	// variants only two hits are attributable to normalization.
+	st := c.Stats()
+	if st.NormalizedHits != 2 {
+		t.Fatalf("NormalizedHits = %d, want 2", st.NormalizedHits)
+	}
+	// An exact canonical-text resubmission is a plain hit, not a normalized one.
+	if _, _, hit, err := c.GetOrCompileCanonical(cq1, natix.Options{}, "d", 1, 1); err != nil || !hit {
+		t.Fatalf("canonical-text lookup: hit=%v err=%v", hit, err)
+	}
+	if st := c.Stats(); st.NormalizedHits != 2 {
+		t.Fatalf("exact-text hit wrongly counted as normalized: %d", st.NormalizedHits)
+	}
+	// Unparseable queries degrade to exact-text caching.
+	if _, cq, _, err := c.GetOrCompileCanonical("a[", natix.Options{}, "d", 1, 1); err == nil || cq != "a[" {
+		t.Fatalf("unparseable query: cq=%q err=%v", cq, err)
+	}
+}

@@ -55,6 +55,9 @@ func TestDegradedShedsByCostClass(t *testing.T) {
 		DegradeFaults:      2,
 		EvalWindow:         time.Hour, // no recovery during this test
 		DefaultTimeout:     30 * time.Second,
+		// The queue-fill phase needs the two occupying queries to occupy a
+		// worker and a queue slot each, not coalesce into one flight.
+		DisableSingleflight: true,
 	})
 
 	shedHigh0 := mShed.Value(costHigh)

@@ -156,6 +156,27 @@ type Config struct {
 	// served plans (natix.Options.EnablePathIndex). Reported on
 	// GET /buildinfo so cluster operators can verify shard homogeneity.
 	PathIndex bool
+
+	// DisableNormalization serves queries under their verbatim text instead
+	// of the canonical form: plan cache, singleflight and workload profile
+	// all key exact-text. Benchmark/ablation switch.
+	DisableNormalization bool
+	// DisableSingleflight executes every admitted request independently,
+	// concurrent duplicates included. Benchmark/ablation switch.
+	DisableSingleflight bool
+	// HighCostSeconds is the profiled EWMA run time at or above which a
+	// query is high-cost on history alone (default 250ms). Admission blends
+	// it with the static CostBytes threshold when both signals exist.
+	HighCostSeconds time.Duration
+	// WarmTopK bounds how many of a document's hottest profiled queries are
+	// recompiled into the plan cache after a reload (and persisted per
+	// document when ProfilePath is set). Default 8; negative disables
+	// warming and persistence.
+	WarmTopK int
+	// ProfilePath, when set, persists the workload profile: loaded at New,
+	// written (top WarmTopK entries per document, atomic rename) at
+	// Shutdown.
+	ProfilePath string
 }
 
 func (c Config) withDefaults() Config {
@@ -203,6 +224,15 @@ func (c Config) withDefaults() Config {
 	if c.QueryWorkers == 1 {
 		c.QueryWorkers = 0 // 1 is serial; normalize so cache keys agree
 	}
+	if c.HighCostSeconds <= 0 {
+		c.HighCostSeconds = 250 * time.Millisecond
+	}
+	if c.WarmTopK == 0 {
+		c.WarmTopK = 8
+	}
+	if c.WarmTopK < 0 {
+		c.WarmTopK = 0 // 0 disables from here on
+	}
 	return c
 }
 
@@ -230,6 +260,16 @@ type Server struct {
 	healthMu    sync.Mutex
 	docFaults   map[string]int
 	quarantined map[string]bool
+
+	// Adaptive serving: singleflight registry + canonicalization memo
+	// (singleflight.go) and the workload profile (profile.go).
+	flightState
+	profile *profile
+
+	// Server-local execution accounting (the registry metrics aggregate
+	// across servers and test runs; these do not).
+	executed  atomic.Int64
+	coalesced atomic.Int64
 }
 
 // job is one admitted query request.
@@ -240,6 +280,15 @@ type job struct {
 	done     chan struct{}
 	resp     *QueryResponse
 	err      *apiError
+
+	// canonQuery is the canonical query text the plan cache, profile and
+	// flight are keyed under; normalized reports it differs from req.Query.
+	canonQuery string
+	normalized bool
+	// flight, when non-nil, receives the job's outcome for every waiter;
+	// fkey is its registry key.
+	flight *flight
+	fkey   flightKey
 }
 
 // New builds a Server and starts its worker pool.
@@ -257,6 +306,14 @@ func New(cfg Config) *Server {
 		evalDone:    make(chan struct{}),
 		docFaults:   map[string]int{},
 		quarantined: map[string]bool{},
+		profile:     newProfile(),
+	}
+	s.flights = map[flightKey]*flight{}
+	s.canonMemo = map[string]canonResult{}
+	if cfg.ProfilePath != "" {
+		// A missing file is a first run; a corrupt one serves empty rather
+		// than refusing to start (the profile is an optimization, not state).
+		_ = s.profile.load(cfg.ProfilePath)
 	}
 	mState.Set(int64(StateHealthy))
 	for i := 0; i < cfg.Workers; i++ {
@@ -374,6 +431,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.draining.CompareAndSwap(false, true) {
 		s.setState(StateDraining)
 		close(s.stopEval)
+		if s.cfg.ProfilePath != "" && s.cfg.WarmTopK > 0 {
+			// Persist the workload profile before the drain: the next
+			// process pre-warms from it. Best-effort — a full disk must not
+			// block the drain.
+			_ = s.profile.save(s.cfg.ProfilePath, s.cfg.WarmTopK)
+		}
 		go func() {
 			s.jobWG.Wait()
 			close(s.quit)
@@ -467,7 +530,10 @@ type QueryResponse struct {
 	Generation uint64 `json:"generation"`
 	// Cached reports whether the plan came from the plan cache (no
 	// parse/translate/codegen on this request).
-	Cached    bool        `json:"cached"`
+	Cached bool `json:"cached"`
+	// Coalesced reports this response was delivered by joining another
+	// request's in-flight execution (singleflight).
+	Coalesced bool        `json:"coalesced,omitempty"`
 	ElapsedUS int64       `json:"elapsed_us"`
 	Result    QueryResult `json:"result"`
 	Stats     QueryStats  `json:"stats"`
@@ -535,6 +601,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/documents", s.handleDocuments)
 	mux.HandleFunc("/reload", s.handleReload)
+	mux.HandleFunc("/warm", s.handleWarm)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/healthz/live", s.handleLive)
 	mux.HandleFunc("/healthz/ready", s.handleReady)
@@ -647,10 +714,16 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	// A fresh generation starts with a clean bill of health.
 	s.liftQuarantine(name)
+	// Pre-warm the fresh generation from the workload profile so the
+	// invalidation above is not a cold-cache cliff; the response reports
+	// the mitigation so operators can see it working.
+	warmed, warmElapsed := s.WarmDoc(name)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"document":          name,
 		"generation":        gen,
 		"plans_invalidated": invalidated,
+		"warmed":            warmed,
+		"warm_compile_us":   warmElapsed.Microseconds(),
 	})
 }
 
@@ -693,29 +766,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Degraded mode sheds by cost class before touching the queue: the
-	// expensive queries go first, and what remains competes for a shrunk
-	// queue so the latency of admitted work stays bounded.
-	if s.State() == StateDegraded {
-		class := s.costClass(&req)
-		if class == costHigh {
-			mShed.With(costHigh).Inc()
-			mRejected.Inc()
-			writeErr(w, errf(http.StatusTooManyRequests, CodeOverloaded,
-				"degraded: shedding high-cost queries"))
-			return
-		}
-		if s.queued.Load() >= int64(s.cfg.DegradedQueueDepth) {
-			mShed.With(costLow).Inc()
-			mRejected.Inc()
-			writeErr(w, errf(http.StatusTooManyRequests, CodeOverloaded,
-				"degraded: admission queue shrunk to %d", s.cfg.DegradedQueueDepth))
-			return
-		}
-	}
-
-	// Admission: the jobs channel is the queue; a full channel answers an
-	// immediate structured 429 rather than stalling the client.
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -723,15 +773,110 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			timeout = s.cfg.MaxTimeout
 		}
 	}
+	// ctx is this waiter's own deadline: it bounds how long the client
+	// waits, never how long a shared execution may run.
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	j := &job{req: &req, ctx: ctx, enqueued: time.Now(), done: make(chan struct{})}
+
+	canonQuery, normalized := s.canonicalize(req.Query)
+
+	// Singleflight: identical (canonical query, options, document
+	// generation, index epoch) requests share one execution. Joining
+	// precedes the degraded-mode shed — a join costs no worker, so shedding
+	// it would only lose the coalescing win. The leader registers before
+	// its own admission checks: a shed or queue-full verdict then fans out
+	// to everyone who coalesced behind it, which is exactly the admission
+	// decision one execution of that query deserves.
+	var (
+		f      *flight
+		fk     flightKey
+		leader bool
+	)
+	jctx := ctx
+	if !s.cfg.DisableSingleflight {
+		if gen, err := s.cfg.Catalog.Generation(req.Document); err == nil {
+			epoch, _ := s.cfg.Catalog.IndexEpoch(req.Document)
+			fk = flightKey{query: canonQuery, opts: plancache.OptionsKey(s.compileOpts(&req)),
+				doc: req.Document, gen: gen, epoch: epoch}
+			// The execution context is detached from this request: the
+			// leader client cancelling is just one waiter leaving. The
+			// flight's refcount cancels execCtx when the last waiter leaves.
+			execCtx, execCancel := context.WithTimeout(context.Background(), timeout)
+			f, leader = s.joinOrLead(fk, execCancel)
+			if !leader {
+				execCancel() // joined: this request's exec context is unused
+				s.coalesced.Add(1)
+				mCoalesced.Inc()
+				select {
+				case <-f.done:
+					if f.err != nil {
+						writeErr(w, f.err)
+						return
+					}
+					// Shallow copy: waiters share result slices (read-only
+					// from here) but flag their own coalesced delivery.
+					cp := *f.resp
+					cp.Coalesced = true
+					writeJSON(w, http.StatusOK, &cp)
+				case <-ctx.Done():
+					// This waiter's deadline — leave without touching the
+					// flight; the leader finishes for whoever remains.
+					f.leave()
+					writeErr(w, errf(http.StatusGatewayTimeout, CodeTimeout,
+						"request expired awaiting a coalesced execution"))
+				}
+				return
+			}
+			jctx = execCtx
+			defer func() {
+				// Balance the leader's waiter reference on every return
+				// path after the flight completed or was abandoned; a
+				// cancel on a finished execution is a no-op.
+				f.leave()
+			}()
+		}
+	}
+
+	// reject finishes the flight (fanning the verdict to coalesced
+	// waiters) before answering the leader itself.
+	reject := func(e *apiError) {
+		if f != nil {
+			s.finishFlight(fk, f, nil, e)
+		}
+		writeErr(w, e)
+	}
+
+	// Degraded mode sheds by cost class before touching the queue: the
+	// expensive queries go first, and what remains competes for a shrunk
+	// queue so the latency of admitted work stays bounded.
+	if s.State() == StateDegraded {
+		class := s.costClass(&req, canonQuery)
+		if class == costHigh {
+			mShed.With(costHigh).Inc()
+			mRejected.Inc()
+			reject(errf(http.StatusTooManyRequests, CodeOverloaded,
+				"degraded: shedding high-cost queries"))
+			return
+		}
+		if s.queued.Load() >= int64(s.cfg.DegradedQueueDepth) {
+			mShed.With(costLow).Inc()
+			mRejected.Inc()
+			reject(errf(http.StatusTooManyRequests, CodeOverloaded,
+				"degraded: admission queue shrunk to %d", s.cfg.DegradedQueueDepth))
+			return
+		}
+	}
+
+	// Admission: the jobs channel is the queue; a full channel answers an
+	// immediate structured 429 rather than stalling the client.
+	j := &job{req: &req, ctx: jctx, enqueued: time.Now(), done: make(chan struct{}),
+		canonQuery: canonQuery, normalized: normalized, flight: f, fkey: fk}
 	s.jobWG.Add(1)
 	if s.draining.Load() {
 		// Re-check after jobWG.Add so Shutdown's Wait cannot miss us.
 		s.jobWG.Done()
 		mRejected.Inc()
-		writeErr(w, errf(http.StatusServiceUnavailable, CodeShuttingDown, "server is draining"))
+		reject(errf(http.StatusServiceUnavailable, CodeShuttingDown, "server is draining"))
 		return
 	}
 	select {
@@ -741,14 +886,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.jobWG.Done()
 		s.noteReject()
-		writeErr(w, errf(http.StatusTooManyRequests, CodeOverloaded,
+		reject(errf(http.StatusTooManyRequests, CodeOverloaded,
 			"admission queue full (%d executing, %d queued)", s.cfg.Workers, s.cfg.QueueDepth))
 		return
 	}
+	if f != nil {
+		// Leader: consume through the flight like any waiter, bounded by
+		// this request's own deadline, not the execution's.
+		select {
+		case <-f.done:
+			if f.err != nil {
+				writeErr(w, f.err)
+				return
+			}
+			writeJSON(w, http.StatusOK, f.resp)
+		case <-ctx.Done():
+			writeErr(w, errf(http.StatusGatewayTimeout, CodeTimeout,
+				"request expired while executing"))
+		}
+		return
+	}
 	<-j.done
-	mInFlight.Add(-1)
 	if j.err != nil {
-		mErrors.Inc()
 		writeErr(w, j.err)
 		return
 	}
@@ -772,23 +931,46 @@ func (s *Server) compileOpts(req *QueryRequest) natix.Options {
 	return opt
 }
 
-// costClass classifies a query for degraded-mode shedding: by its cached
-// plan's CostBytes when the plan cache has it, by expression length
-// otherwise (an unknown query is only high-cost when its source alone says
-// so — degraded mode must not starve cheap first-time queries).
-func (s *Server) costClass(req *QueryRequest) string {
+// costClass classifies a query for degraded-mode shedding from two
+// signals: the cached plan's static CostBytes and the workload profile's
+// EWMA of this query's observed run times on this document. With both, the
+// blended score 0.5·(bytes/HighCostBytes) + 0.5·(ewma/HighCostSeconds)
+// crosses into high at 1.0 — a query can earn the class on either
+// dimension alone at 2× its threshold, or on both at their thresholds. One
+// signal classifies by its own threshold; neither falls back to expression
+// length (an unknown query is only high-cost when its source alone says so
+// — degraded mode must not starve cheap first-time queries).
+func (s *Server) costClass(req *QueryRequest, canonQuery string) string {
+	costBytes := int64(-1)
 	if s.cfg.Cache != nil {
 		opt := s.compileOpts(req)
 		if gen, err := s.cfg.Catalog.Generation(req.Document); err == nil {
 			epoch, _ := s.cfg.Catalog.IndexEpoch(req.Document)
-			k := plancache.Key{Query: req.Query, Opts: plancache.OptionsKey(opt), Doc: req.Document, Gen: gen, Epoch: epoch}
+			k := plancache.Key{Query: canonQuery, Opts: plancache.OptionsKey(opt), Doc: req.Document, Gen: gen, Epoch: epoch}
 			if plan, ok := s.cfg.Cache.Peek(k); ok {
-				if plan.CostBytes() >= s.cfg.HighCostBytes {
-					return costHigh
-				}
-				return costLow
+				costBytes = plan.CostBytes()
 			}
 		}
+	}
+	ewma, haveHist := s.profile.ewma(req.Document, canonQuery, req.Mode)
+	highSecs := s.cfg.HighCostSeconds.Seconds()
+	switch {
+	case costBytes >= 0 && haveHist:
+		score := 0.5*float64(costBytes)/float64(s.cfg.HighCostBytes) + 0.5*ewma/highSecs
+		if score >= 1 {
+			return costHigh
+		}
+		return costLow
+	case haveHist:
+		if ewma >= highSecs {
+			return costHigh
+		}
+		return costLow
+	case costBytes >= 0:
+		if costBytes >= s.cfg.HighCostBytes {
+			return costHigh
+		}
+		return costLow
 	}
 	if int64(len(req.Query)) >= 192 {
 		return costHigh
@@ -796,17 +978,32 @@ func (s *Server) costClass(req *QueryRequest) string {
 	return costLow
 }
 
-// execute runs one admitted job on a worker goroutine.
+// execute runs one admitted job on a worker goroutine. The deferred
+// publisher fans the outcome out: to the job's flight (every coalesced
+// waiter, the leader included) and to the job's own done channel.
 func (s *Server) execute(j *job) {
 	defer s.jobWG.Done()
-	defer close(j.done)
+	defer func() {
+		if j.err != nil {
+			mErrors.Inc()
+		}
+		if j.flight != nil {
+			s.finishFlight(j.fkey, j.flight, j.resp, j.err)
+			// The execution context served its purpose; release its timer
+			// rather than waiting for the deadline or the last waiter.
+			j.flight.cancel()
+		}
+		close(j.done)
+		mInFlight.Add(-1)
+	}()
 	s.queued.Add(-1)
 	if metrics.Enabled() {
 		mRequests.Inc()
 		mQueueWait.ObserveDuration(time.Since(j.enqueued))
 		defer func() { mServeTime.ObserveDuration(time.Since(j.enqueued)) }()
 	}
-	// The request may have timed out or disconnected while queued.
+	// The request may have timed out or disconnected while queued (for a
+	// flight: every waiter left).
 	if err := j.ctx.Err(); err != nil {
 		j.err = errf(http.StatusGatewayTimeout, CodeTimeout, "request expired while queued")
 		return
@@ -830,24 +1027,33 @@ func (s *Server) execute(j *job) {
 	var plan *natix.Prepared
 	cached := false
 	if s.cfg.Cache != nil {
-		plan, cached, err = s.cfg.Cache.GetOrCompile(j.req.Query, opt, h.Name, h.Generation, h.IndexEpoch)
+		plan, cached, err = s.cfg.Cache.GetOrCompileNormalized(j.canonQuery, j.normalized, opt, h.Name, h.Generation, h.IndexEpoch)
 	} else {
-		plan, err = natix.CompileWith(j.req.Query, opt)
+		plan, err = natix.CompileWith(j.canonQuery, opt)
 	}
 	if err != nil {
 		j.err = errf(http.StatusBadRequest, CodeParseError, "%v", err)
 		return
 	}
 
+	s.executed.Add(1)
+	runStart := time.Now()
 	res, err := plan.RunContext(j.ctx, natix.RootNode(h.Doc), nil)
+	runSecs := time.Since(runStart).Seconds()
 	if err != nil {
 		j.err = classify(err)
 		if j.err.Code == CodeStoreFault {
 			s.noteStoreFault(j.req.Document)
+		} else if j.err.Code == CodeTimeout || j.err.Code == CodeLimit {
+			// A run that blew its deadline or budget is the strongest
+			// possible expensive signal — fold the elapsed time in so
+			// admission reclassifies it.
+			s.observeRun(j, plan, runSecs)
 		}
 		return
 	}
 	s.noteStoreOK(j.req.Document)
+	s.observeRun(j, plan, runSecs)
 	j.resp = &QueryResponse{
 		Document:   h.Name,
 		Generation: h.Generation,
@@ -862,6 +1068,87 @@ func (s *Server) execute(j *job) {
 			MemoMisses: res.Stats.MemoMisses,
 		},
 	}
+}
+
+// observeRun folds one measured execution into the workload profile.
+func (s *Server) observeRun(j *job, plan *natix.Prepared, seconds float64) {
+	s.profile.observe(j.req.Document, j.canonQuery, j.req.Mode, ProfileEntry{
+		Query:      j.canonQuery,
+		Mode:       j.req.Mode,
+		Namespaces: j.req.Namespaces,
+		CostBytes:  plan.CostBytes(),
+	}, seconds)
+}
+
+// ServeCounters is a snapshot of server-local execution accounting. The
+// registry metrics aggregate across servers and test runs; these do not,
+// which is what the adaptive guard needs to prove "duplicates executed
+// once".
+type ServeCounters struct {
+	// Executed counts engine runs actually started.
+	Executed int64
+	// Coalesced counts requests served by joining an in-flight execution.
+	Coalesced int64
+}
+
+// Counters returns the server-local execution counters.
+func (s *Server) Counters() ServeCounters {
+	return ServeCounters{Executed: s.executed.Load(), Coalesced: s.coalesced.Load()}
+}
+
+// WarmDoc recompiles the document's hottest profiled queries into the plan
+// cache against its current generation and index epoch, returning how many
+// plans compiled and the time spent. Reload calls it so a fresh generation
+// does not serve its first requests from a cold cache; POST /warm exposes
+// it for coordinator topology swaps.
+func (s *Server) WarmDoc(name string) (warmed int, elapsed time.Duration) {
+	if s.cfg.Cache == nil || s.cfg.WarmTopK <= 0 {
+		return 0, 0
+	}
+	gen, err := s.cfg.Catalog.Generation(name)
+	if err != nil {
+		return 0, 0
+	}
+	epoch, _ := s.cfg.Catalog.IndexEpoch(name)
+	start := time.Now()
+	for _, e := range s.profile.topK(name, s.cfg.WarmTopK) {
+		req := &QueryRequest{Query: e.Query, Document: name, Mode: e.Mode, Namespaces: e.Namespaces}
+		opt := s.compileOpts(req)
+		if _, _, err := s.cfg.Cache.GetOrCompileNormalized(e.Query, false, opt, name, gen, epoch); err == nil {
+			warmed++
+		}
+	}
+	return warmed, time.Since(start)
+}
+
+// handleWarm pre-warms a document's plan cache from the workload profile
+// without reloading it. The cluster coordinator fans it out after a
+// topology swap, when shards gain documents they have history for but no
+// compiled plans.
+func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, errf(http.StatusMethodNotAllowed, CodeBadRequest, "POST only"))
+		return
+	}
+	name := r.URL.Query().Get("document")
+	if name == "" {
+		writeErr(w, errf(http.StatusBadRequest, CodeBadRequest, "missing ?document="))
+		return
+	}
+	if _, err := s.cfg.Catalog.Generation(name); err != nil {
+		if isUnknownDoc(err) {
+			writeErr(w, errf(http.StatusNotFound, CodeUnknownDoc, "%v", err))
+		} else {
+			writeErr(w, errf(http.StatusInternalServerError, CodeStoreFault, "%v", err))
+		}
+		return
+	}
+	warmed, elapsed := s.WarmDoc(name)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"document":        name,
+		"warmed":          warmed,
+		"warm_compile_us": elapsed.Microseconds(),
+	})
 }
 
 // serialize converts a result value into the JSON payload. Node-sets are

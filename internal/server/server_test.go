@@ -303,6 +303,8 @@ func TestReloadInvalidatesPlans(t *testing.T) {
 	var rl struct {
 		Generation  uint64 `json:"generation"`
 		Invalidated int    `json:"plans_invalidated"`
+		Warmed      int    `json:"warmed"`
+		WarmUS      int64  `json:"warm_compile_us"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&rl); err != nil {
 		t.Fatal(err)
@@ -311,10 +313,17 @@ func TestReloadInvalidatesPlans(t *testing.T) {
 	if rl.Generation != 2 || rl.Invalidated != 1 {
 		t.Fatalf("reload = %+v", rl)
 	}
+	// The workload profile saw the pre-reload query, so the reload
+	// pre-warms it into the fresh generation's cache.
+	if rl.Warmed != 1 {
+		t.Fatalf("reload warmed = %d, want 1 (%+v)", rl.Warmed, rl)
+	}
 
+	// The warmed plan serves the new generation's data from cache: stale
+	// plans are gone (generation bumped) without a cold-compile cliff.
 	_, data = postQuery(t, ts, QueryRequest{Query: "string(/r)", Document: "d"})
 	qr := decodeQuery(t, data)
-	if *qr.Result.String != "two" || qr.Generation != 2 || qr.Cached {
+	if *qr.Result.String != "two" || qr.Generation != 2 || !qr.Cached {
 		t.Fatalf("post-reload: %+v", qr)
 	}
 
@@ -354,6 +363,10 @@ func TestAdmissionControl(t *testing.T) {
 		Workers:        1,
 		QueueDepth:     1,
 		DefaultTimeout: 30 * time.Second,
+		// This test proves the queue rejects overflow; identical concurrent
+		// queries would otherwise coalesce into one execution and never
+		// fill it (TestSingleflightCoalesces covers that path).
+		DisableSingleflight: true,
 	})
 
 	// Capacity is 1 executing + 1 queued. 12 simultaneous heavy queries must
@@ -499,6 +512,9 @@ func TestLoadConcurrentClients(t *testing.T) {
 		Cache:      cache,
 		Workers:    8,
 		QueueDepth: 4096, // never reject: this test measures the hot path
+		// Coalesced requests never touch the plan cache; this test measures
+		// cache behavior, so every request must look up.
+		DisableSingleflight: true,
 	})
 
 	queries := []string{

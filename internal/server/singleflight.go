@@ -1,0 +1,129 @@
+// Singleflight execution: concurrent identical requests — same canonical
+// query, options, document generation and index epoch — coalesce into one
+// engine run whose result fans out to every waiter. The leader executes on
+// a context detached from its own HTTP request, kept alive by a waiter
+// refcount: any individual waiter (the original leader client included)
+// cancelling or timing out merely leaves the flight, and only the last
+// departure cancels the execution. A leader failure — admission rejection,
+// compile error, store fault, timeout — propagates the same typed error to
+// every waiter still aboard.
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"natix/internal/canon"
+	"natix/internal/metrics"
+)
+
+var mCoalesced = metrics.Default.Counter("natix_singleflight_coalesced_total", "Query requests served by joining an identical in-flight execution instead of running.")
+
+// flightKey identifies one coalescable execution. Generation and epoch are
+// included so a flight never serves a result from a superseded document
+// state to a request that arrived after the reload.
+type flightKey struct {
+	query string // canonical text
+	opts  string // plancache.OptionsKey
+	doc   string
+	gen   uint64
+	epoch uint64
+}
+
+// flight is one in-progress coalesced execution.
+type flight struct {
+	done chan struct{}
+	// resp/err are set exactly once, before done closes; read-only after.
+	resp *QueryResponse
+	err  *apiError
+	// waiters counts everyone awaiting the result, the leader's own HTTP
+	// handler included. The last one to leave cancels the execution.
+	waiters atomic.Int64
+	cancel  context.CancelFunc
+}
+
+// leave drops one waiter; the last departure cancels the execution context
+// (nobody wants the result anymore — stop burning the worker).
+func (f *flight) leave() {
+	if f.waiters.Add(-1) == 0 {
+		f.cancel()
+	}
+}
+
+// complete publishes the result and releases every waiter. Idempotence
+// guard: admission rejection and worker execution can never both complete
+// one flight (a rejected leader never enqueues), so a plain close is safe.
+func (f *flight) complete(resp *QueryResponse, err *apiError) {
+	f.resp, f.err = resp, err
+	close(f.done)
+}
+
+// joinOrLead returns the flight for k, reporting whether the caller leads
+// it (and must execute) or joined an existing one (and must only wait).
+// Either way the caller holds one waiter reference and must balance it with
+// leave() unless it consumed the result via done.
+func (s *Server) joinOrLead(k flightKey, cancel context.CancelFunc) (*flight, bool) {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	if f, ok := s.flights[k]; ok {
+		f.waiters.Add(1)
+		return f, false
+	}
+	f := &flight{done: make(chan struct{}), cancel: cancel}
+	f.waiters.Store(1)
+	s.flights[k] = f
+	return f, true
+}
+
+// finishFlight unregisters the flight and publishes its result. Removal
+// happens under flightMu before completion, so a request that finds the key
+// absent can never miss a result it should have shared.
+func (s *Server) finishFlight(k flightKey, f *flight, resp *QueryResponse, err *apiError) {
+	s.flightMu.Lock()
+	delete(s.flights, k)
+	s.flightMu.Unlock()
+	f.complete(resp, err)
+}
+
+// canonMemoCap bounds the canonicalization memo; at capacity the map is
+// flushed whole (the memo is a latency optimization, not state).
+const canonMemoCap = 4096
+
+type canonResult struct {
+	text    string
+	changed bool
+}
+
+// canonicalize returns the canonical form of query, memoized: three parses
+// per request (normalize, validate, re-validate) is measurable on the hot
+// path, and skewed workloads re-submit the same spellings constantly.
+func (s *Server) canonicalize(query string) (string, bool) {
+	if s.cfg.DisableNormalization {
+		return query, false
+	}
+	s.canonMu.RLock()
+	r, ok := s.canonMemo[query]
+	s.canonMu.RUnlock()
+	if ok {
+		return r.text, r.changed
+	}
+	text, changed := canon.Canonicalize(query)
+	s.canonMu.Lock()
+	if len(s.canonMemo) >= canonMemoCap {
+		s.canonMemo = make(map[string]canonResult, canonMemoCap)
+	}
+	s.canonMemo[query] = canonResult{text, changed}
+	s.canonMu.Unlock()
+	return text, changed
+}
+
+// canonMu/canonMemo and flightMu/flights live on Server; declared here to
+// keep the singleflight machinery in one file.
+type flightState struct {
+	flightMu sync.Mutex
+	flights  map[flightKey]*flight
+
+	canonMu   sync.RWMutex
+	canonMemo map[string]canonResult
+}

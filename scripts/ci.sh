@@ -59,6 +59,14 @@ go test -race -run 'TestConcurrentSharedPreparedParallel|TestPoolBalanceParallel
 # where the index-enabled difftest twins above still prove correctness.
 NATIX_PERF_GUARD=1 go test -run TestIndexSpeedupGuard -timeout 20m .
 
+# Adaptive serving guard: under a 64-client Zipf workload of duplicate-heavy
+# queries, coalescing identical in-flight executions must cut p99 latency by
+# at least 2x against the same workload with singleflight off, and every
+# request must either lead its flight or join one (duplicates execute once).
+# Writes BENCH_PR10.json; self-skips below 4 cores, where the singleflight
+# edge-case tests in the -race suite above still prove correctness.
+NATIX_PERF_GUARD=1 go test -run TestAdaptiveServeGuard -timeout 20m -count=1 .
+
 # Plan-cache guard: a cache hit must return the identical compiled artifact
 # (pointer identity — no parse/translate/codegen on the hit path), and the
 # benchmark pair quantifies the cold/hot gap.
